@@ -1,0 +1,80 @@
+// Command kmon is the paper's Figure 4 graphical viewing tool, rendered
+// for terminals and SVG: a per-CPU timeline giving "a visual sense of what
+// is occurring in the system and how active the system is", with selected
+// events marked along it. It also prints the click-to-list view: the
+// events around a chosen instant (Figure 5's listing scoped to a window).
+//
+// Usage:
+//
+//	kmon [-width N] [-mark EVENT_NAME]... [-svg out.svg] [-at seconds -around ms] trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+)
+
+type markList []string
+
+func (m *markList) String() string     { return fmt.Sprint(*m) }
+func (m *markList) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	width := flag.Int("width", 100, "timeline width in columns")
+	svgPath := flag.String("svg", "", "also write an SVG rendering to this path")
+	zoomFrom := flag.Float64("from", -1, "zoom: window start, seconds")
+	zoomTo := flag.Float64("to", -1, "zoom: window end, seconds")
+	at := flag.Float64("at", -1, "list events around this time (seconds), like clicking the timeline")
+	around := flag.Float64("around", 2.0, "window size for -at, milliseconds")
+	var marks markList
+	flag.Var(&marks, "mark", "event name to mark on the timeline (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kmon [flags] trace.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trace, meta, st, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmon:", err)
+		os.Exit(1)
+	}
+	if st.Garbled() {
+		fmt.Fprintf(os.Stderr, "kmon: warning: %d garbled words skipped\n", st.SkippedWords)
+	}
+	var tl *ktrace.Timeline
+	if *zoomFrom >= 0 && *zoomTo > *zoomFrom {
+		hz := float64(meta.ClockHz)
+		tl = trace.TimelineRange(uint64(*zoomFrom*hz), uint64(*zoomTo*hz), *width, marks...)
+	} else {
+		tl = trace.Timeline(*width, marks...)
+	}
+	fmt.Print(tl.ASCII())
+	util := tl.Utilization()
+	for cpu, u := range util {
+		fmt.Printf("cpu%-3d utilization %5.1f%%\n", cpu, u*100)
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(tl.SVG()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "kmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *at >= 0 {
+		hz := float64(meta.ClockHz)
+		half := *around / 2 * hz / 1000
+		center := *at * hz
+		from := uint64(0)
+		if center > half {
+			from = uint64(center - half)
+		}
+		fmt.Printf("\nevents around %.6fs:\n", *at)
+		trace.List(os.Stdout, ktrace.ListOptions{
+			From: from, To: uint64(center + half), Limit: 50,
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command lockstat reproduces the paper's Figure 7: the lock-contention
+// analysis that drove K42's tuning loop ("we used the lock analysis tool
+// to determine the most contended lock in the system, fixed it, and then
+// ran the tool again"). For each (lock, call chain, domain) it reports
+// total wait time, contention count, spin count, maximum wait, and pid,
+// sortable on any column.
+//
+// Usage:
+//
+//	lockstat [-sort time|count|spin|max] [-top N] trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"k42trace/internal/analysis"
+
+	ktrace "k42trace"
+)
+
+func main() {
+	sortKey := flag.String("sort", "time", "column to sort by: time, count, spin, max")
+	top := flag.Int("top", 10, "number of entries to print")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lockstat [flags] trace.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(1)
+	}
+	rep := trace.LockStat()
+	switch *sortKey {
+	case "time":
+		rep.Sort(analysis.ByTime)
+	case "count":
+		rep.Sort(analysis.ByCount)
+	case "spin":
+		rep.Sort(analysis.BySpin)
+	case "max":
+		rep.Sort(analysis.ByMaxTime)
+	default:
+		fmt.Fprintf(os.Stderr, "lockstat: unknown sort key %q\n", *sortKey)
+		os.Exit(2)
+	}
+	if len(rep.Rows) == 0 {
+		fmt.Println("no contended locks in trace")
+		return
+	}
+	if err := rep.Format(os.Stdout, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("total wait across all locks: %.6fs over %d contended sites\n",
+		trace.Seconds(rep.TotalWait()), len(rep.Rows))
+}

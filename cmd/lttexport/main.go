@@ -1,0 +1,42 @@
+// Command lttexport converts a ktrace trace file into the Linux Trace
+// Toolkit's textual event-dump layout — the paper's stated next step for
+// interoperating with LTT's visualizer (§5 future work).
+//
+// Usage:
+//
+//	lttexport trace.ktr > trace.ltt.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+	"k42trace/internal/lttconv"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lttexport trace.ktr")
+		os.Exit(2)
+	}
+	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lttexport:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	st, err := lttconv.WriteText(w, trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lttexport:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "lttexport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "converted %d events (%d as Custom)\n", st.Events, st.Custom)
+}

@@ -1,0 +1,46 @@
+// Command memhot analyzes the hardware-counter sample events in a trace —
+// the §2 integration: "the trace infrastructure may be used to study
+// memory bottlenecks, memory hot-spots ... by logging hardware counter
+// events, e.g., cache-line misses." It prints cache and coherence misses
+// attributed by symbol.
+//
+// Usage:
+//
+//	memhot [-top N] trace.ktr
+//
+// Produce a trace with counter samples via:
+//
+//	sdet -cpus 8 -config coarse -hwc 50000 -o trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+)
+
+func main() {
+	top := flag.Int("top", 12, "rows to print")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memhot [flags] trace.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memhot:", err)
+		os.Exit(1)
+	}
+	rep := trace.MemProfile()
+	if rep.Samples == 0 {
+		fmt.Println("no hardware-counter samples in trace (enable them with the hwc sampling period)")
+		return
+	}
+	if err := rep.Format(os.Stdout, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "memhot:", err)
+		os.Exit(1)
+	}
+}

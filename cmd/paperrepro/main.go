@@ -1,0 +1,253 @@
+// Command paperrepro regenerates the paper's entire evaluation in one run
+// and prints a paper-vs-measured report: the §3.2 cost table (C1/C2), the
+// Figure 3 SDET sweep, the tracing-overhead claim (C3), the lockless-vs-
+// locked multiprocessor comparison (C4), the filler/boundary statistics
+// (C6), random access (C7), and the headline rows of Figures 6 and 7.
+// Shapes are checked automatically; exact numbers go to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperrepro [-quick]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ktrace "k42trace"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+var failures int
+
+func check(ok bool, format string, args ...interface{}) {
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+		failures++
+	}
+	fmt.Printf("  [%s] %s\n", status, fmt.Sprintf(format, args...))
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller iteration counts")
+	flag.Parse()
+	iters := 2_000_000
+	if *quick {
+		iters = 200_000
+	}
+
+	fmt.Println("== C1/C2: §3.2 cost table (paper: mask check 4 instructions; 91 cycles + 11/word) ==")
+	costTable(iters)
+
+	fmt.Println("\n== Figure 3: SDET throughput vs processors (tracing compiled in, masked) ==")
+	figure3()
+
+	fmt.Println("\n== C3: tracing overhead on SDET (paper: <1% masked) ==")
+	overhead()
+
+	fmt.Println("\n== C4: lockless vs lock-serialized tracing, 16 virtual CPUs (paper/LTT: ~10x) ==")
+	lockedVsLockless()
+
+	fmt.Println("\n== C6: boundary fits and filler waste (paper: 30-40% exact, very little waste) ==")
+	filler()
+
+	fmt.Println("\n== C7: random access into a large trace ==")
+	randomAccess()
+
+	fmt.Println("\n== Figures 6/7: profile and lock contention on the coarse kernel ==")
+	figures67()
+
+	if failures > 0 {
+		fmt.Printf("\n%d checks FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall shape checks passed")
+}
+
+func costTable(iters int) {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 16384, NumBufs: 4})
+	tr.DisableAll()
+	c := tr.CPU(0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c.Log1(ktrace.MajorTest, 1, uint64(i))
+	}
+	disabled := time.Since(start).Seconds() / float64(iters) * 1e9
+	tr.EnableAll()
+	measure := func(n int) float64 {
+		payload := make([]uint64, n)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c.LogWords(ktrace.MajorTest, 1, payload)
+		}
+		return time.Since(start).Seconds() / float64(iters) * 1e9
+	}
+	e1 := measure(1)
+	e16 := measure(16)
+	fmt.Printf("  disabled trace point: %6.2f ns   1-word event: %6.2f ns   16-word: %6.2f ns\n",
+		disabled, e1, e16)
+	check(disabled < 20, "disabled path is near-free (%.2fns)", disabled)
+	check(e1 < 1000, "enabled 1-word event in the ~100ns regime (%.2fns)", e1)
+	check(e16 < e1*3, "per-word slope small (16 words only %.1fx the 1-word cost)", e16/e1)
+}
+
+func figure3() {
+	p := sdet.Params{ScriptsPerCPU: 4, CommandsPerScript: 6, Seed: 42}
+	pts, err := sdet.Sweep([]int{1, 4, 16, 24}, sdet.TraceMasked, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(indent(sdet.FormatTable(pts)))
+	get := func(cpus int, tuned bool) float64 {
+		for _, pt := range pts {
+			if pt.CPUs == cpus && pt.Tuned == tuned {
+				return pt.Throughput
+			}
+		}
+		return 0
+	}
+	tuned24 := get(24, true) / get(1, true)
+	coarse24 := get(24, false) / get(1, false)
+	check(tuned24 > 18, "tuned kernel scales near-linearly (%.1fx at 24 cpus)", tuned24)
+	check(coarse24 < 0.6*tuned24, "coarse kernel flattens (%.1fx at 24 cpus)", coarse24)
+}
+
+func overhead() {
+	p := sdet.Params{ScriptsPerCPU: 3, CommandsPerScript: 5, Seed: 11}
+	runMode := func(m sdet.TraceMode) sdet.Point {
+		pt, err := sdet.Run(sdet.Config{CPUs: 4, Tuned: true, Trace: m, Params: p}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return pt
+	}
+	out := runMode(sdet.TraceCompiledOut)
+	masked := runMode(sdet.TraceMasked)
+	on := runMode(sdet.TraceOn)
+	mo := float64(masked.MakespanNs)/float64(out.MakespanNs) - 1
+	oo := float64(on.MakespanNs)/float64(out.MakespanNs) - 1
+	fmt.Printf("  masked: +%.3f%%   fully enabled: +%.2f%% (%d events)\n", mo*100, oo*100, on.Events)
+	check(mo < 0.01, "masked overhead under 1%% (%.3f%%)", mo*100)
+	check(oo > 0 && oo < 0.15, "full tracing is low-impact (%.2f%%)", oo*100)
+}
+
+func lockedVsLockless() {
+	p := sdet.Params{ScriptsPerCPU: 3, CommandsPerScript: 5, Seed: 11}
+	run := func(locked bool) sdet.Point {
+		pt, err := sdet.Run(sdet.Config{CPUs: 16, Tuned: true, Trace: sdet.TraceOn,
+			Params: p, LockedTrace: locked}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return pt
+	}
+	ll := run(false)
+	lk := run(true)
+	ratio := float64(lk.MakespanNs) / float64(ll.MakespanNs)
+	fmt.Printf("  lockless per-CPU: %.0f scripts/hour   locked global buffer: %.0f   ratio %.1fx\n",
+		ll.Throughput, lk.Throughput, ratio)
+	check(ratio > 5, "order-of-magnitude-class separation (%.1fx)", ratio)
+}
+
+func filler() {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 16384, NumBufs: 4})
+	tr.EnableAll()
+	c := tr.CPU(0)
+	payload := make([]uint64, 4)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 2_000_000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		c.LogWords(ktrace.MajorTest, 1, payload[:(rng>>33)%5])
+	}
+	st := tr.Stats()
+	exact := 100 * float64(st.ExactFit) / float64(st.Anchors)
+	waste := 100 * float64(st.FillerWords) / float64(st.Words+st.FillerWords)
+	fmt.Printf("  exact boundary fits: %.1f%%   filler waste: %.4f%% of logged words\n", exact, waste)
+	check(exact > 25 && exact < 45, "exact fits in the paper's 30-40%% band (%.1f%%)", exact)
+	check(waste < 0.1, "filler waste negligible (%.4f%%)", waste)
+}
+
+func randomAccess() {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 1024, NumBufs: 4,
+		Mode: ktrace.Stream, Clock: ktrace.NewManualClock(1)})
+	tr.EnableAll()
+	var buf bytes.Buffer
+	wait := ktrace.CaptureAsync(tr, &buf)
+	c := tr.CPU(0)
+	for i := 0; i < 300_000; i++ {
+		c.Log2(ktrace.MajorTest, 1, uint64(i), uint64(i))
+	}
+	tr.Stop()
+	if _, err := wait(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rd, err := stream.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mid := rd.NumBlocks() / 2
+	t0 := time.Now()
+	rd.Events(mid)
+	seek := time.Since(t0)
+	t0 = time.Now()
+	for k := 0; k <= mid; k++ {
+		rd.Events(k)
+	}
+	scan := time.Since(t0)
+	fmt.Printf("  %d blocks; middle block by seek: %v, by scan: %v (%.0fx)\n",
+		rd.NumBlocks(), seek, scan, float64(scan)/float64(seek))
+	check(scan > 20*seek, "seek beats scan by a wide margin (%.0fx)", float64(scan)/float64(seek))
+}
+
+func figures67() {
+	var buf bytes.Buffer
+	p := sdet.Params{ScriptsPerCPU: 3, CommandsPerScript: 4, Seed: 9}
+	if _, err := sdet.Run(sdet.Config{CPUs: 16, Tuned: false, Trace: sdet.TraceOn,
+		Params: p, Sample: 50_000}, &buf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rd, err := stream.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	evs, _, err := rd.ReadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	trace := ktrace.BuildTrace(evs, rd.Meta().ClockHz, ktrace.DefaultRegistry())
+	prof := trace.Profile(^uint64(0))
+	fmt.Printf("  Figure 6 top symbol: %s (%d samples)\n", prof.Top(), prof.Total)
+	check(prof.Top() == "FairBLock::_acquire()",
+		"coarse profile led by lock spinning, as in Figure 6")
+	rep := trace.LockStat()
+	if len(rep.Rows) > 0 {
+		frames := trace.ChainFrames(rep.Rows[0].ChainID)
+		fmt.Printf("  Figure 7 top lock: %.6fs wait, %d contentions, chain %s\n",
+			trace.Seconds(rep.Rows[0].TotalWaitNs), rep.Rows[0].Count, frames[0])
+	}
+	check(len(rep.Rows) > 0, "coarse run shows contended locks for the Figure 7 table")
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	return out + "\n"
+}

@@ -1,0 +1,48 @@
+// Command profbreak reproduces the paper's Figure 6: the statistical
+// execution profile driven by PC-sampling events — "a sorted histogram of
+// the routines that were statistically most active" for one process (or
+// all of them).
+//
+// Usage:
+//
+//	profbreak [-pid N | -all] [-top N] trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+)
+
+func main() {
+	pid := flag.Uint64("pid", 0, "process to profile")
+	all := flag.Bool("all", false, "profile all processes combined")
+	top := flag.Int("top", 12, "histogram entries to print")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: profbreak [flags] trace.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profbreak:", err)
+		os.Exit(1)
+	}
+	target := *pid
+	if *all {
+		target = ^uint64(0)
+	}
+	p := trace.Profile(target)
+	if p.Total == 0 {
+		fmt.Println("no PC samples in trace (was the sampler enabled?)")
+		return
+	}
+	if err := p.Format(os.Stdout, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "profbreak:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d samples total\n", p.Total)
+}

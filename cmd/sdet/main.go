@@ -1,0 +1,114 @@
+// Command sdet runs the paper's Figure 3 experiment: SPEC SDET-style
+// throughput on the simulated multiprocessor OS, swept over processor
+// counts, for the tuned (K42-like) and coarse (global-lock) kernels, with
+// tracing compiled out, masked (compiled in, disabled — the paper's
+// benchmarking configuration), or fully enabled.
+//
+// Usage:
+//
+//	sdet -sweep -cpus 1,2,4,8,16,24            # print the Figure 3 table
+//	sdet -cpus 8 -config coarse -o trace.ktr   # one traced run -> file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"k42trace/internal/sdet"
+)
+
+func parseCPUs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad cpu count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	sweep := flag.Bool("sweep", false, "run the full Figure 3 sweep and print the table")
+	cpus := flag.String("cpus", "1,2,4,8,16,24", "processor counts (comma-separated; first entry used for single runs)")
+	config := flag.String("config", "tuned", "kernel configuration: tuned or coarse")
+	traceMode := flag.String("trace", "masked", "tracing: out, masked, on")
+	out := flag.String("o", "", "capture the trace to this file (implies -trace on)")
+	scriptsPerCPU := flag.Int("scripts", 4, "SDET scripts per CPU")
+	cmds := flag.Int("cmds", 6, "commands per script")
+	seed := flag.Int64("seed", 42, "workload seed")
+	sample := flag.Uint64("sample", 0, "PC sampler period in virtual ns (0 = off)")
+	hwc := flag.Uint64("hwc", 0, "hardware-counter sample period in virtual ns (0 = off)")
+	stagger := flag.Uint64("stagger", 0, "delay script i by i*stagger virtual ns (startup-idle demo)")
+	forks := flag.Bool("forks", false, "scripts fork a child per command")
+	threads := flag.Bool("threads", false, "scripts spawn a thread per command (multithreaded processes)")
+	flag.Parse()
+
+	list, err := parseCPUs(*cpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdet:", err)
+		os.Exit(2)
+	}
+	params := sdet.Params{ScriptsPerCPU: *scriptsPerCPU, CommandsPerScript: *cmds,
+		Seed: *seed, Forks: *forks, Threads: *threads}
+	mode := map[string]sdet.TraceMode{
+		"out": sdet.TraceCompiledOut, "masked": sdet.TraceMasked, "on": sdet.TraceOn,
+	}[*traceMode]
+	if *out != "" {
+		mode = sdet.TraceOn
+	}
+
+	if *sweep {
+		pts, err := sdet.Sweep(list, mode, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdet:", err)
+			os.Exit(1)
+		}
+		fmt.Println("SDET throughput (scripts/hour) vs processors — Figure 3")
+		fmt.Print(sdet.FormatTable(pts))
+		return
+	}
+
+	cfg := sdet.Config{
+		CPUs:      list[0],
+		Tuned:     *config == "tuned",
+		Trace:     mode,
+		Params:    params,
+		Sample:    *sample,
+		HWCSample: *hwc,
+		Stagger:   *stagger,
+	}
+	if *config != "tuned" && *config != "coarse" {
+		fmt.Fprintf(os.Stderr, "sdet: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	var w *os.File
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdet:", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+	}
+	var pt sdet.Point
+	if w != nil {
+		pt, err = sdet.Run(cfg, w)
+	} else {
+		pt, err = sdet.Run(cfg, nil)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cpus=%d config=%s trace=%v throughput=%.0f scripts/hour makespan=%.3fms events=%d\n",
+		pt.CPUs, *config, pt.Trace, pt.Throughput,
+		float64(pt.MakespanNs)/1e6, pt.Events)
+	if *out != "" {
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

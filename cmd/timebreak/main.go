@@ -1,0 +1,51 @@
+// Command timebreak reproduces the paper's Figure 8: the fine-grained
+// attribution of a process's time among user computation, system calls
+// (with per-call costs, counts, and contained events), IPC activity, and
+// page faults — plus, for server processes, the time spent servicing IPC
+// calls made by other applications, categorized by function.
+//
+// Usage:
+//
+//	timebreak -pid N trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+	"k42trace/internal/analysis"
+)
+
+func main() {
+	pid := flag.Uint64("pid", ^uint64(0), "process to break down")
+	all := flag.Bool("all", false, "print the per-process overview instead")
+	flag.Parse()
+	if flag.NArg() != 1 || (*pid == ^uint64(0) && !*all) {
+		fmt.Fprintln(os.Stderr, "usage: timebreak (-pid N | -all) trace.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timebreak:", err)
+		os.Exit(1)
+	}
+	if *all {
+		if err := analysis.FormatOverview(os.Stdout, trace.Overview()); err != nil {
+			fmt.Fprintln(os.Stderr, "timebreak:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tb := trace.TimeBreak(*pid)
+	if tb.TotalNs() == 0 && len(tb.Serviced) == 0 {
+		fmt.Fprintf(os.Stderr, "timebreak: no activity for pid %d in trace\n", *pid)
+		os.Exit(1)
+	}
+	if err := tb.Format(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "timebreak:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Command tracebench measures the tracing fast paths on the host machine
+// and prints the paper's §3.2 cost table: the cost of a disabled trace
+// point (the mask check — "4 machine instructions"), the cost of logging
+// events of increasing size ("91 cycles ... with 11 cycles for each
+// additional 64-bit word"), and the throughput of the lockless per-CPU
+// design against the locking, fixed-slot, and syscall-style baselines.
+//
+// Usage:
+//
+//	tracebench [-iters N] [-writers 1,2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	ktrace "k42trace"
+	"k42trace/internal/baseline"
+	"k42trace/internal/clock"
+	"k42trace/internal/event"
+)
+
+func main() {
+	iters := flag.Int("iters", 2_000_000, "iterations per measurement")
+	writersFlag := flag.String("writers", "1,2,4,8", "writer counts for the throughput comparison")
+	flag.Parse()
+
+	var writerCounts []int
+	for _, f := range strings.Split(*writersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "tracebench: bad writer count %q\n", f)
+			os.Exit(2)
+		}
+		writerCounts = append(writerCounts, n)
+	}
+
+	fmt.Println("== disabled trace point (mask check) ==")
+	maskCheck(*iters)
+
+	fmt.Println("\n== enabled event cost vs payload words (paper: 91 cycles + 11/word at 1GHz) ==")
+	eventCost(*iters)
+
+	fmt.Println("\n== logging throughput: lockless per-CPU vs baselines ==")
+	throughput(*iters, writerCounts)
+}
+
+func maskCheck(iters int) {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 4096, NumBufs: 4})
+	tr.DisableAll()
+	c := tr.CPU(0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c.Log1(ktrace.MajorTest, 1, uint64(i))
+	}
+	per := time.Since(start).Seconds() / float64(iters) * 1e9
+	fmt.Printf("disabled Log1: %.2f ns/op\n", per)
+	if tr.Stats().Events != 0 {
+		fmt.Fprintln(os.Stderr, "tracebench: disabled path logged events!")
+		os.Exit(1)
+	}
+}
+
+func eventCost(iters int) {
+	payload := make([]uint64, 16)
+	var base, perWord float64
+	fmt.Printf("%8s %12s\n", "words", "ns/event")
+	var xs, ys []float64
+	for _, n := range []int{0, 1, 2, 4, 8, 16} {
+		tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 16384, NumBufs: 4})
+		tr.EnableAll()
+		c := tr.CPU(0)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c.LogWords(ktrace.MajorTest, 1, payload[:n])
+		}
+		per := time.Since(start).Seconds() / float64(iters) * 1e9
+		fmt.Printf("%8d %12.2f\n", n, per)
+		xs = append(xs, float64(n))
+		ys = append(ys, per)
+	}
+	base, perWord = fitLine(xs, ys)
+	fmt.Printf("linear fit: %.1f ns + %.2f ns/word (paper at 1GHz: 91ns + 11ns/word)\n",
+		base, perWord)
+}
+
+// fitLine returns intercept and slope of a least-squares fit.
+func fitLine(xs, ys []float64) (b, m float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	m = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	b = (sy - m*sx) / n
+	return b, m
+}
+
+func throughput(iters int, writerCounts []int) {
+	clk := clock.NewSync()
+	factories := []func(cpus int) baseline.Logger{
+		func(c int) baseline.Logger { return baseline.NewLockless(c, 16384, 4, clk) },
+		func(c int) baseline.Logger { return baseline.NewPerCPULockLogger(c, 16384, clk) },
+		func(c int) baseline.Logger { return baseline.NewLockLogger(16384, clk) },
+		func(c int) baseline.Logger { return baseline.NewFixedLogger(c, 4096, clk) },
+		func(c int) baseline.Logger { return baseline.NewSyscallLogger(16384, clk) },
+	}
+	fmt.Printf("%-18s", "writers")
+	for _, w := range writerCounts {
+		fmt.Printf(" %14d", w)
+	}
+	fmt.Println("  (Mevents/sec)")
+	for _, mkLogger := range factories {
+		name := func() string {
+			l := mkLogger(1)
+			defer l.Close()
+			return l.Name()
+		}()
+		fmt.Printf("%-18s", name)
+		for _, writers := range writerCounts {
+			per := iters / writers / 4
+			l := mkLogger(writers)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						l.Log1(w, event.MajorTest, 1, uint64(i))
+					}
+				}(w)
+			}
+			wg.Wait()
+			dur := time.Since(start).Seconds()
+			rate := float64(per*writers) / dur / 1e6
+			l.Close()
+			fmt.Printf(" %14.2f", rate)
+		}
+		fmt.Println()
+	}
+}

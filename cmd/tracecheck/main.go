@@ -1,0 +1,40 @@
+// Command tracecheck validates a trace file's structural invariants:
+// per-CPU timestamp monotonicity, balanced syscall/PPC/page-fault/
+// interrupt pairs, lock event pairing, event-registration coverage, and
+// block-level anomalies. Exit status 1 on violations — suitable for CI
+// over captured traces.
+//
+// Usage:
+//
+//	tracecheck trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ktrace "k42trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.ktr")
+		os.Exit(2)
+	}
+	trace, _, dst, err := ktrace.OpenTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	rep := trace.Validate()
+	rep.Format(os.Stdout)
+	if dst.Garbled() {
+		fmt.Printf("decode skipped %d garbled words\n", dst.SkippedWords)
+	}
+	if !rep.OK() || dst.Garbled() {
+		os.Exit(1)
+	}
+	fmt.Println("trace is structurally sound")
+}

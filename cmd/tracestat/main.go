@@ -1,0 +1,100 @@
+// Command tracestat summarizes a trace file: geometry, time span, event
+// counts per major class and per CPU, event rates, anomalous blocks, and
+// the per-process time overview. The quick first look before reaching for
+// the specialized tools.
+//
+// Usage:
+//
+//	tracestat trace.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	ktrace "k42trace"
+	"k42trace/internal/analysis"
+	"k42trace/internal/stream"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat trace.ktr")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	trace, meta, dst, err := ktrace.OpenTraceFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d CPUs, %d-word buffers (%d KiB alignment), clock %d Hz\n",
+		path, meta.CPUs, meta.BufWords, meta.BufWords*8/1024, meta.ClockHz)
+	first, last := trace.Span()
+	span := trace.Seconds(last) - trace.Seconds(first)
+	fmt.Printf("span: %.6fs .. %.6fs (%.6fs)\n",
+		trace.Seconds(first), trace.Seconds(last), span)
+
+	byMajor := map[ktrace.Major]int{}
+	byCPU := map[int]int{}
+	total := 0
+	for i := range trace.Events {
+		e := &trace.Events[i]
+		byMajor[e.Major()]++
+		byCPU[e.CPU]++
+		total++
+	}
+	rate := 0.0
+	if span > 0 {
+		rate = float64(total) / span
+	}
+	fmt.Printf("events: %d (%.0f events/sec)", total, rate)
+	if dst.Garbled() {
+		fmt.Printf("; %d garbled words skipped", dst.SkippedWords)
+	}
+	fmt.Println()
+
+	type mc struct {
+		m ktrace.Major
+		n int
+	}
+	var majors []mc
+	for m, n := range byMajor {
+		majors = append(majors, mc{m, n})
+	}
+	sort.Slice(majors, func(i, j int) bool { return majors[i].n > majors[j].n })
+	fmt.Println("\nevents by major class:")
+	for _, e := range majors {
+		fmt.Printf("  %-10s %8d (%5.1f%%)\n", e.m, e.n, 100*float64(e.n)/float64(total))
+	}
+	fmt.Println("\nevents by CPU:")
+	for cpu := 0; cpu < meta.CPUs; cpu++ {
+		fmt.Printf("  cpu%-3d %8d\n", cpu, byCPU[cpu])
+	}
+
+	// Anomalous blocks from the file headers.
+	if f, err := os.Open(path); err == nil {
+		if fi, err := f.Stat(); err == nil {
+			if rd, err := stream.NewReader(f, fi.Size()); err == nil {
+				if anoms, err := rd.Anomalies(); err == nil && len(anoms) > 0 {
+					fmt.Printf("\nanomalous blocks (commit-count mismatches): %d\n", len(anoms))
+					for _, h := range anoms {
+						fmt.Printf("  cpu %d seq %d: committed %d of %d words\n",
+							h.CPU, h.Seq, h.Committed, h.NWords)
+					}
+				}
+			}
+		}
+		f.Close()
+	}
+
+	fmt.Println("\nper-process time overview:")
+	rows := trace.Overview()
+	if len(rows) > 12 {
+		rows = rows[:12]
+	}
+	analysis.FormatOverview(os.Stdout, rows)
+}

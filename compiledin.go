@@ -1,0 +1,20 @@
+//go:build !ktrace_off
+
+package ktrace
+
+// CompiledIn reports whether trace statements are compiled into this
+// build. It is a true constant, so instrumentation guarded by it is
+// eliminated entirely by the compiler when the binary is built with
+// -tags ktrace_off — the paper's goal 6: "have minimal impact on the
+// system when tracing is not enabled, and allow for zero impact by
+// providing the ability to 'compile out' events if desired."
+//
+// Usage at instrumentation sites:
+//
+//	if ktrace.CompiledIn {
+//	    cpu.Log2(ktrace.MajorUser, evStep, a, b)
+//	}
+//
+// With the default build this is the normal one-load mask check; with
+// -tags ktrace_off the branch and the call vanish from the binary.
+const CompiledIn = true

@@ -1,0 +1,7 @@
+//go:build ktrace_off
+
+package ktrace
+
+// CompiledIn is false in ktrace_off builds: instrumentation guarded by it
+// is dead code and is removed by the compiler. See compiledin.go.
+const CompiledIn = false

@@ -1,0 +1,144 @@
+package ktrace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ktrace "k42trace"
+)
+
+func TestCompiledInDefault(t *testing.T) {
+	if !ktrace.CompiledIn {
+		t.Fatal("default builds must have tracing compiled in")
+	}
+}
+
+func TestFacadeRelayRoundTrip(t *testing.T) {
+	var file bytes.Buffer
+	h, st := ktrace.RelaySaveHandler(&file)
+	srv, err := ktrace.RelayListen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 64, NumBufs: 4,
+		Mode: ktrace.Stream, Clock: ktrace.NewManualClock(1)})
+	tr.EnableAll()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ktrace.RelaySend(tr, srv.Addr())
+		done <- err
+	}()
+	c := tr.CPU(0)
+	for i := 0; i < 200; i++ {
+		c.Log1(ktrace.MajorUser, 30, uint64(i))
+	}
+	tr.Stop()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, anoms := st.Snapshot()
+	if blocks == 0 || anoms != 0 {
+		t.Fatalf("blocks=%d anoms=%d", blocks, anoms)
+	}
+	rd, err := ktrace.NewReader(bytes.NewReader(file.Bytes()), int64(file.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumBlocks() != blocks {
+		t.Errorf("file blocks %d != %d", rd.NumBlocks(), blocks)
+	}
+}
+
+func TestFacadeLiveHandler(t *testing.T) {
+	h, ch := ktrace.RelayLiveHandler(8)
+	srv, err := ktrace.RelayListen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 64, NumBufs: 4,
+		Mode: ktrace.Stream})
+	tr.EnableAll()
+	go ktrace.RelaySend(tr, srv.Addr())
+	c := tr.CPU(0)
+	for i := 0; i < 500; i++ {
+		c.Log1(ktrace.MajorUser, 31, uint64(i))
+	}
+	tr.Stop()
+	got := 0
+	for b := range ch {
+		evs, _ := ktrace.DecodeBuffer(b.Header.CPU, b.Words)
+		got += len(evs)
+	}
+	if got == 0 {
+		t.Fatal("no live events")
+	}
+}
+
+func TestFacadeRedactAndCrashDump(t *testing.T) {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 128, NumBufs: 2})
+	tr.EnableAll()
+	c := tr.CPU(0)
+	c.Log1(ktrace.MajorMem, 1, 0x11)
+	c.Log1(ktrace.MajorUser, 2, 0x22)
+	var dump bytes.Buffer
+	if err := tr.WriteCrashDump(&dump); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ktrace.ReadCrashDump(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := d.Events(0)
+	if err != nil || len(evs) == 0 {
+		t.Fatalf("events=%d err=%v", len(evs), err)
+	}
+	red := ktrace.Redact(d.Memory[0][:d.Index[0]], ktrace.VisibleMask(ktrace.MajorMem))
+	revs, _ := ktrace.DecodeBuffer(0, red)
+	for _, e := range revs {
+		if e.Major() == ktrace.MajorUser {
+			t.Fatal("redaction leaked a USER event")
+		}
+	}
+}
+
+func TestFacadeLockOrderAndOverviewOnTrace(t *testing.T) {
+	tr := ktrace.MustNew(ktrace.Config{CPUs: 1, BufWords: 256, NumBufs: 2})
+	tr.EnableAll()
+	tr.CPU(0).Log1(ktrace.MajorUser, 33, 1)
+	evs, _ := tr.Dump(0)
+	trace := ktrace.BuildTrace(evs, 1e9, ktrace.DefaultRegistry())
+	rep := trace.LockOrder()
+	if len(rep.Cycles) != 0 {
+		t.Error("no locks, no cycles expected")
+	}
+	if !strings.Contains(rep.String(), "consistent") {
+		t.Errorf("report: %s", rep)
+	}
+	if mp := trace.MemProfile(); mp.Samples != 0 {
+		t.Error("no hwc samples expected")
+	}
+}
+
+func TestFacadeClockHelpers(t *testing.T) {
+	s := ktrace.NewSyncClock()
+	if s.Hz() != 1e9 {
+		t.Error("sync hz")
+	}
+	m := ktrace.NewManualClock(2)
+	if m.Now(0) != 2 || m.Now(0) != 4 {
+		t.Error("manual clock")
+	}
+	var src ktrace.ClockSource = m
+	_ = src
+}
+
+func TestOpenTraceFileErrors(t *testing.T) {
+	if _, _, _, err := ktrace.OpenTraceFile("/nonexistent/file.ktr"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package ktrace
+
+import (
+	"fmt"
+	"os"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/event"
+	"k42trace/internal/stream"
+)
+
+// OpenTraceFile reads a whole trace file, merges its events by time, and
+// returns the analysis Trace plus the file metadata and decode statistics.
+// It is the standard entry point for the command-line tools; large-file
+// tools that want random access should use NewReader directly.
+func OpenTraceFile(path string) (*Trace, TraceMeta, DecodeStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, TraceMeta{}, DecodeStats{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, TraceMeta{}, DecodeStats{}, err
+	}
+	rd, err := stream.NewReader(f, fi.Size())
+	if err != nil {
+		return nil, TraceMeta{}, DecodeStats{}, fmt.Errorf("%s: %w", path, err)
+	}
+	evs, st, err := rd.ReadAll()
+	if err != nil {
+		return nil, rd.Meta(), st, fmt.Errorf("%s: %w", path, err)
+	}
+	return analysis.Build(evs, rd.Meta().ClockHz, event.Default), rd.Meta(), st, nil
+}
+
+// WriteTraceFile captures a stream-mode tracer into a file at path. It
+// returns a wait function to call after Tracer.Stop.
+func WriteTraceFile(tr *Tracer, path string) (wait func() (CaptureStats, error), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	inner := stream.CaptureAsync(tr, f)
+	return func() (CaptureStats, error) {
+		st, err := inner()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return st, err
+	}, nil
+}

@@ -1,0 +1,3 @@
+module k42trace
+
+go 1.22

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// The paper's §4.2 anecdote: "a deadlock in the file system space was
+// tracked down with the tracing facility ... it was important to track the
+// order of all the different requests ... a trace file was produced and
+// post-processed to detect where the cycle had occurred." This file is
+// that post-processor, generalized: it replays lock events, builds the
+// lock-order graph (an edge A→B means some context acquired B while
+// holding A), and reports cycles — each cycle is a potential deadlock.
+
+// OrderEdge is one observed ordering between two locks.
+type OrderEdge struct {
+	From, To uint64
+	// Count is how many times the ordering was observed; Pid and ChainID
+	// describe one witness acquisition of To while From was held.
+	Count   uint64
+	Pid     uint64
+	ChainID uint64
+	// FirstAt is the timestamp of the first observation.
+	FirstAt uint64
+}
+
+// DeadlockReport is the result of lock-order analysis.
+type DeadlockReport struct {
+	// Edges is the lock-order graph, deterministic order.
+	Edges []OrderEdge
+	// Cycles lists the distinct lock cycles found, each as the lock IDs in
+	// acquisition order (a cycle of length 2 is the classic AB/BA
+	// inversion).
+	Cycles [][]uint64
+	trace  *Trace
+}
+
+// LockOrder replays the trace's lock events and returns the lock-order
+// graph and any cycles. Both contended (STARTWAIT/ACQUIRED) and
+// uncontended (ACQUIRE) acquisition events participate; releases pop the
+// per-CPU held set. A cycle does not prove a deadlock occurred, but every
+// deadlock produces one, and the witnesses tell the developer where to
+// look.
+func (t *Trace) LockOrder() *DeadlockReport {
+	type edgeKey struct{ from, to uint64 }
+	edges := map[edgeKey]*OrderEdge{}
+	var order []edgeKey
+	held := map[int][]uint64{} // per CPU, acquisition order
+
+	acquire := func(cpu int, st *CPUState, lock, chain uint64, ts uint64) {
+		for _, h := range held[cpu] {
+			if h == lock {
+				continue
+			}
+			k := edgeKey{h, lock}
+			e := edges[k]
+			if e == nil {
+				e = &OrderEdge{From: h, To: lock, Pid: st.DomainPid(),
+					ChainID: chain, FirstAt: ts}
+				edges[k] = e
+				order = append(order, k)
+			}
+			e.Count++
+		}
+		held[cpu] = append(held[cpu], lock)
+	}
+	release := func(cpu int, lock uint64) {
+		hs := held[cpu]
+		for i := len(hs) - 1; i >= 0; i-- {
+			if hs[i] == lock {
+				held[cpu] = append(hs[:i], hs[i+1:]...)
+				return
+			}
+		}
+	}
+
+	Walk(t.Events, MaxCPU(t.Events), Hooks{
+		Event: func(e *event.Event, st *CPUState) {
+			if e.Major() != event.MajorLock {
+				return
+			}
+			switch e.Minor() {
+			case ksim.EvLockAcquired:
+				if len(e.Data) >= 4 {
+					acquire(e.CPU, st, e.Data[0], e.Data[3], e.Time)
+				}
+			case ksim.EvLockAcquire:
+				if len(e.Data) >= 1 {
+					acquire(e.CPU, st, e.Data[0], 0, e.Time)
+				}
+			case ksim.EvLockRelease:
+				if len(e.Data) >= 1 {
+					release(e.CPU, e.Data[0])
+				}
+			}
+		},
+	})
+
+	rep := &DeadlockReport{trace: t}
+	for _, k := range order {
+		rep.Edges = append(rep.Edges, *edges[k])
+	}
+	rep.Cycles = findCycles(rep.Edges)
+	return rep
+}
+
+// findCycles returns the simple cycles of the lock-order graph. Graphs
+// here are small (locks with observed nesting), so a DFS per node with
+// canonicalized de-duplication is plenty.
+func findCycles(edges []OrderEdge) [][]uint64 {
+	adj := map[uint64][]uint64{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	for _, vs := range adj {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	var nodes []uint64
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	seen := map[string]bool{}
+	var out [][]uint64
+	var path []uint64
+	onPath := map[uint64]int{}
+	var dfs func(n uint64)
+	dfs = func(n uint64) {
+		if i, ok := onPath[n]; ok {
+			cyc := append([]uint64(nil), path[i:]...)
+			key := canonCycle(cyc)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cyc)
+			}
+			return
+		}
+		if len(path) > 64 {
+			return // depth bound; lock graphs are shallow in practice
+		}
+		onPath[n] = len(path)
+		path = append(path, n)
+		for _, m := range adj[n] {
+			dfs(m)
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return canonCycle(out[i]) < canonCycle(out[j])
+	})
+	return out
+}
+
+// canonCycle rotates a cycle so its smallest element leads, giving a
+// dedup key independent of starting point.
+func canonCycle(c []uint64) string {
+	if len(c) == 0 {
+		return ""
+	}
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < len(c); i++ {
+		fmt.Fprintf(&b, "%x,", c[(min+i)%len(c)])
+	}
+	return b.String()
+}
+
+// Format writes the report: cycles first (the bugs), then the order graph.
+func (r *DeadlockReport) Format(w io.Writer) error {
+	if len(r.Cycles) == 0 {
+		if _, err := fmt.Fprintln(w, "no lock-order cycles: ordering is consistent"); err != nil {
+			return err
+		}
+	}
+	for i, cyc := range r.Cycles {
+		fmt.Fprintf(w, "POTENTIAL DEADLOCK cycle %d:", i+1)
+		for _, l := range cyc {
+			fmt.Fprintf(w, " 0x%x ->", l)
+		}
+		fmt.Fprintf(w, " 0x%x\n", cyc[0])
+		// Print the witness edges along the cycle.
+		for j := range cyc {
+			from, to := cyc[j], cyc[(j+1)%len(cyc)]
+			for _, e := range r.Edges {
+				if e.From == from && e.To == to {
+					fmt.Fprintf(w, "  0x%x taken while holding 0x%x (pid 0x%x, %d times, first at %.7fs)\n",
+						to, from, e.Pid, e.Count, r.trace.Seconds(e.FirstAt))
+					for _, f := range r.trace.ChainFrames(e.ChainID) {
+						fmt.Fprintf(w, "      %s\n", f)
+					}
+					break
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d distinct lock orderings observed\n", len(r.Edges))
+	return nil
+}
+
+// String renders the report.
+func (r *DeadlockReport) String() string {
+	var b strings.Builder
+	r.Format(&b)
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// lockEvents builds acquire/release event pairs; contended acquisitions
+// use ACQUIRED (with chain), releases use RELEASE.
+func acq(cpu int, ts, lock, chain uint64) event.Event {
+	return mk(cpu, ts, event.MajorLock, ksim.EvLockAcquired, lock, 10, 1, chain)
+}
+func acqFast(cpu int, ts, lock uint64) event.Event {
+	return mk(cpu, ts, event.MajorLock, ksim.EvLockAcquire, lock)
+}
+func rel(cpu int, ts, lock uint64) event.Event {
+	return mk(cpu, ts, event.MajorLock, ksim.EvLockRelease, lock, 5)
+}
+
+func TestLockOrderNoCycle(t *testing.T) {
+	// Consistent A-then-B ordering on two CPUs: edges but no cycle.
+	evs := []event.Event{
+		mk(0, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		mk(1, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 6),
+		acqFast(0, 10, 0xA),
+		acq(0, 20, 0xB, 3),
+		rel(0, 30, 0xB),
+		rel(0, 40, 0xA),
+		acqFast(1, 15, 0xA),
+		acq(1, 25, 0xB, 3),
+		rel(1, 35, 0xB),
+		rel(1, 45, 0xA),
+	}
+	tr := Build(evs, 1e9, event.Default)
+	rep := tr.LockOrder()
+	if len(rep.Cycles) != 0 {
+		t.Fatalf("unexpected cycles: %v", rep.Cycles)
+	}
+	if len(rep.Edges) != 1 {
+		t.Fatalf("edges = %+v, want one A->B edge", rep.Edges)
+	}
+	e := rep.Edges[0]
+	if e.From != 0xA || e.To != 0xB || e.Count != 2 {
+		t.Errorf("edge %+v", e)
+	}
+	if !strings.Contains(rep.String(), "ordering is consistent") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestLockOrderDetectsABBACycle(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		mk(1, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 6),
+		// CPU0: A then B.
+		acqFast(0, 10, 0xA),
+		acq(0, 20, 0xB, 7),
+		rel(0, 30, 0xB),
+		rel(0, 40, 0xA),
+		// CPU1: B then A — the inversion.
+		acqFast(1, 12, 0xB),
+		acq(1, 22, 0xA, 8),
+		rel(1, 32, 0xA),
+		rel(1, 42, 0xB),
+	}
+	tr := Build(evs, 1e9, event.Default)
+	rep := tr.LockOrder()
+	if len(rep.Cycles) != 1 {
+		t.Fatalf("cycles = %v, want exactly one", rep.Cycles)
+	}
+	if len(rep.Cycles[0]) != 2 {
+		t.Fatalf("cycle = %v, want length 2", rep.Cycles[0])
+	}
+	out := rep.String()
+	if !strings.Contains(out, "POTENTIAL DEADLOCK") {
+		t.Errorf("report missing headline:\n%s", out)
+	}
+	if !strings.Contains(out, "0xa") || !strings.Contains(out, "0xb") {
+		t.Errorf("report missing lock ids:\n%s", out)
+	}
+}
+
+func TestLockOrderThreeWayCycle(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		// A->B, B->C, C->A across sequential sections on one CPU.
+		acqFast(0, 10, 0xA), acq(0, 11, 0xB, 1), rel(0, 12, 0xB), rel(0, 13, 0xA),
+		acqFast(0, 20, 0xB), acq(0, 21, 0xC, 1), rel(0, 22, 0xC), rel(0, 23, 0xB),
+		acqFast(0, 30, 0xC), acq(0, 31, 0xA, 1), rel(0, 32, 0xA), rel(0, 33, 0xC),
+	}
+	tr := Build(evs, 1e9, event.Default)
+	rep := tr.LockOrder()
+	if len(rep.Cycles) != 1 || len(rep.Cycles[0]) != 3 {
+		t.Fatalf("cycles = %v, want one 3-cycle", rep.Cycles)
+	}
+}
+
+func TestLockOrderReentrantAndUnmatched(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 1, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		acqFast(0, 10, 0xA),
+		acqFast(0, 11, 0xA), // re-acquire same lock: no self-edge
+		rel(0, 12, 0xA),
+		rel(0, 13, 0xA),
+		rel(0, 14, 0xF), // release of never-acquired lock: ignored
+	}
+	tr := Build(evs, 1e9, event.Default)
+	rep := tr.LockOrder()
+	if len(rep.Edges) != 0 || len(rep.Cycles) != 0 {
+		t.Fatalf("edges=%v cycles=%v, want none", rep.Edges, rep.Cycles)
+	}
+}
+
+func TestLockOrderOnSDETTraceIsClean(t *testing.T) {
+	// The simulated OS never nests its locks, so a real trace must report
+	// a consistent ordering — the tool's "all clear" path.
+	tr := sdetTrace(t, 4, false)
+	rep := tr.LockOrder()
+	if len(rep.Cycles) != 0 {
+		t.Errorf("OS trace reported cycles: %v", rep.Cycles)
+	}
+}

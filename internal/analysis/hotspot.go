@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// MemRow is one symbol's aggregated hardware-counter samples.
+type MemRow struct {
+	SymID  uint64
+	Name   string
+	Cycles uint64
+	Instr  uint64
+	Misses uint64 // local cache misses
+	Remote uint64 // coherence misses
+}
+
+// MPKC returns local misses per thousand cycles, the hot-spot metric.
+func (r MemRow) MPKC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Misses) / float64(r.Cycles)
+}
+
+// MemReport is the memory-behavior analysis built from hardware-counter
+// sample events: "the trace infrastructure may be used to study memory
+// bottlenecks, memory hot-spots ... by logging hardware counter events,
+// e.g., cache-line misses" (§2). Counter deltas are attributed to the
+// symbol executing when each sample fired, the same statistical
+// attribution the PC profile uses.
+type MemReport struct {
+	Rows    []MemRow
+	Samples int
+	Totals  MemRow
+	trace   *Trace
+}
+
+// MemProfile aggregates TRC_MEM_HWC samples by symbol.
+func (t *Trace) MemProfile() *MemReport {
+	agg := map[uint64]*MemRow{}
+	var order []uint64
+	rep := &MemReport{trace: t}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Major() != event.MajorMem || e.Minor() != ksim.EvMemHWC || len(e.Data) < 5 {
+			continue
+		}
+		sym := e.Data[0]
+		r := agg[sym]
+		if r == nil {
+			r = &MemRow{SymID: sym, Name: t.SymName(sym)}
+			agg[sym] = r
+			order = append(order, sym)
+		}
+		r.Cycles += e.Data[1]
+		r.Instr += e.Data[2]
+		r.Misses += e.Data[3]
+		r.Remote += e.Data[4]
+		rep.Totals.Cycles += e.Data[1]
+		rep.Totals.Instr += e.Data[2]
+		rep.Totals.Misses += e.Data[3]
+		rep.Totals.Remote += e.Data[4]
+		rep.Samples++
+	}
+	for _, sym := range order {
+		rep.Rows = append(rep.Rows, *agg[sym])
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		a, b := rep.Rows[i], rep.Rows[j]
+		if a.Misses+a.Remote != b.Misses+b.Remote {
+			return a.Misses+a.Remote > b.Misses+b.Remote
+		}
+		return a.Name < b.Name
+	})
+	return rep
+}
+
+// TopRemote returns the symbol with the most coherence misses (empty if
+// no samples) — on a contended system, the lock spin loop.
+func (rep *MemReport) TopRemote() string {
+	best := -1
+	var bestV uint64
+	for i, r := range rep.Rows {
+		if r.Remote > bestV {
+			bestV = r.Remote
+			best = i
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return rep.Rows[best].Name
+}
+
+// Format writes the memory hot-spot table.
+func (rep *MemReport) Format(w io.Writer, top int) error {
+	if top <= 0 || top > len(rep.Rows) {
+		top = len(rep.Rows)
+	}
+	if _, err := fmt.Fprintf(w, "memory hot spots (%d hwc samples)\n%10s %10s %10s %8s  method\n",
+		rep.Samples, "misses", "remote", "cycles", "mpkc"); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows[:top] {
+		if _, err := fmt.Fprintf(w, "%10d %10d %10d %8.2f  %s\n",
+			r.Misses, r.Remote, r.Cycles, r.MPKC(), r.Name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10d %10d %10d %8.2f  TOTAL\n",
+		rep.Totals.Misses, rep.Totals.Remote, rep.Totals.Cycles, rep.Totals.MPKC())
+	return err
+}
+
+// String renders the top-12 table.
+func (rep *MemReport) String() string {
+	var b strings.Builder
+	rep.Format(&b, 12)
+	return b.String()
+}

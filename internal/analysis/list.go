@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"k42trace/internal/event"
+)
+
+// ListOptions filter the event listing.
+type ListOptions struct {
+	// Majors restricts output to the given major classes (nil = all).
+	Majors []event.Major
+	// From/To restrict to a time window in trace ticks (To 0 = end). This
+	// is the "listing of every event that occurred around the time period
+	// the mouse was clicked in" view.
+	From, To uint64
+	// Limit caps the number of lines (0 = unlimited).
+	Limit int
+	// ShowControl includes infrastructure events (anchors, definitions).
+	ShowControl bool
+	// HasPid restricts output to events logged while Pid was the scheduled
+	// process (attribution via the replayed scheduling state, so it works
+	// for events that do not carry a pid themselves).
+	HasPid bool
+	Pid    uint64
+	// HasCPU restricts output to events from processor CPU.
+	HasCPU bool
+	CPU    int
+}
+
+// List writes the trace as the paper's Figure 5 listing: time in seconds
+// (7 decimal places), the event's symbolic name, and its self-described
+// rendering.
+//
+//	21.4747350 TRC_USER_RUN_UL_LOADER process 6 created new process with id 7 ...
+func (t *Trace) List(w io.Writer, opt ListOptions) (lines int, err error) {
+	var allow map[event.Major]bool
+	if len(opt.Majors) > 0 {
+		allow = map[event.Major]bool{}
+		for _, m := range opt.Majors {
+			allow[m] = true
+		}
+	}
+	var werr error
+	Walk(t.Events, MaxCPU(t.Events), Hooks{
+		Event: func(e *event.Event, st *CPUState) {
+			if werr != nil || (opt.Limit > 0 && lines >= opt.Limit) {
+				return
+			}
+			if !opt.ShowControl && e.Major() == event.MajorControl {
+				return
+			}
+			if allow != nil && !allow[e.Major()] {
+				return
+			}
+			if e.Time < opt.From || (opt.To != 0 && e.Time >= opt.To) {
+				return
+			}
+			if opt.HasPid && st.Pid != opt.Pid {
+				return
+			}
+			if opt.HasCPU && e.CPU != opt.CPU {
+				return
+			}
+			name, text := event.Describe(t.Reg, e)
+			if _, err := fmt.Fprintf(w, "%.7f %-28s %s\n", t.Seconds(e.Time), name, text); err != nil {
+				werr = err
+				return
+			}
+			lines++
+		},
+	})
+	return lines, werr
+}

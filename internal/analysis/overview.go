@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"k42trace/internal/event"
+)
+
+// ProcSummary is one process's row in the whole-system overview: where its
+// time went, at the granularity of the Figure 8 categories but for every
+// process at once. This is the view that told the K42 team "whether the
+// behavior degradation was coming from the user code, our Linux emulation
+// code, or our kernel code."
+type ProcSummary struct {
+	Pid      uint64
+	Name     string
+	UserNs   uint64
+	KernelNs uint64 // syscall + page-fault handling
+	IPCNs    uint64 // server domains entered via PPC
+	LockNs   uint64 // spinning on contended locks
+	IdleNs   uint64 // only meaningful for the per-CPU pseudo rows
+	Events   uint64 // trace events logged while this process was scheduled
+}
+
+// TotalNs is the process's scheduled time.
+func (p ProcSummary) TotalNs() uint64 {
+	return p.UserNs + p.KernelNs + p.IPCNs + p.LockNs
+}
+
+// Overview attributes all scheduled time in the trace to processes and
+// returns per-process summaries sorted by total time, largest first.
+func (t *Trace) Overview() []ProcSummary {
+	agg := map[uint64]*ProcSummary{}
+	var order []uint64
+	get := func(pid uint64) *ProcSummary {
+		s := agg[pid]
+		if s == nil {
+			s = &ProcSummary{Pid: pid, Name: t.ProcName(pid)}
+			agg[pid] = s
+			order = append(order, pid)
+		}
+		return s
+	}
+	Walk(t.Events, MaxCPU(t.Events), Hooks{
+		Span: func(cpu int, st *CPUState, from, to uint64) {
+			d := to - from
+			s := get(st.Pid)
+			switch st.Mode() {
+			case ModeUser:
+				s.UserNs += d
+			case ModeSyscall, ModePgflt, ModeIRQ:
+				s.KernelNs += d
+			case ModeIPC:
+				s.IPCNs += d
+			case ModeLockWait:
+				s.LockNs += d
+			case ModeIdle:
+				s.IdleNs += d
+			}
+		},
+		Event: func(e *event.Event, st *CPUState) {
+			if e.Major() != event.MajorControl {
+				get(st.Pid).Events++
+			}
+		},
+	})
+	out := make([]ProcSummary, 0, len(order))
+	for _, pid := range order {
+		out = append(out, *agg[pid])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].TotalNs() > out[j].TotalNs()
+	})
+	return out
+}
+
+// FormatOverview writes the per-process table (times in microseconds).
+func FormatOverview(w io.Writer, rows []ProcSummary) error {
+	us := func(ns uint64) float64 { return float64(ns) / 1000 }
+	if _, err := fmt.Fprintf(w, "%6s %-14s %10s %10s %10s %10s %10s %8s\n",
+		"pid", "name", "user(us)", "kernel(us)", "ipc(us)", "lock(us)", "total(us)", "events"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%6d %-14s %10.1f %10.1f %10.1f %10.1f %10.1f %8d\n",
+			r.Pid, r.Name, us(r.UserNs), us(r.KernelNs), us(r.IPCNs),
+			us(r.LockNs), us(r.TotalNs()), r.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OverviewString renders the table.
+func OverviewString(rows []ProcSummary) string {
+	var b strings.Builder
+	FormatOverview(&b, rows)
+	return b.String()
+}

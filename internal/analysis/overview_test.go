@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+func TestOverviewCrafted(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 0, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		mk(0, 100, event.MajorSyscall, ksim.EvSyscallEnter, 5, ksim.SysRead), // 100 user
+		mk(0, 150, event.MajorSyscall, ksim.EvSyscallExit, 5, ksim.SysRead),  // 50 kernel
+		mk(0, 200, event.MajorSched, ksim.EvSchedSwitch, 5, 6),               // 50 more user
+		mk(0, 260, event.MajorLock, ksim.EvLockStartWait, 0xA, 1),            // 60 user (pid6)
+		mk(0, 300, event.MajorLock, ksim.EvLockAcquired, 0xA, 40, 1, 1),      // 40 lock
+		mk(0, 340, event.MajorProc, ksim.EvProcExit, 6),                      // 40 user
+	}
+	tr := Build(evs, 1e9, event.Default)
+	rows := tr.Overview()
+	byPid := map[uint64]ProcSummary{}
+	for _, r := range rows {
+		byPid[r.Pid] = r
+	}
+	p5 := byPid[5]
+	if p5.UserNs != 150 || p5.KernelNs != 50 {
+		t.Errorf("pid5 %+v", p5)
+	}
+	p6 := byPid[6]
+	if p6.UserNs != 100 || p6.LockNs != 40 {
+		t.Errorf("pid6 %+v", p6)
+	}
+	if p5.TotalNs() != 200 || p6.TotalNs() != 140 {
+		t.Errorf("totals %d %d", p5.TotalNs(), p6.TotalNs())
+	}
+	// Sorted by total descending: pid5 first (ignoring pid0's bootstrap row).
+	var nonKernel []ProcSummary
+	for _, r := range rows {
+		if r.Pid >= 5 {
+			nonKernel = append(nonKernel, r)
+		}
+	}
+	if nonKernel[0].Pid != 5 {
+		t.Errorf("sort order: %+v", nonKernel)
+	}
+	out := OverviewString(rows)
+	for _, want := range []string{"pid", "user(us)", "lock(us)", "events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverviewOnSDETTrace(t *testing.T) {
+	tr := sdetTrace(t, 4, false)
+	rows := tr.Overview()
+	if len(rows) < 3 {
+		t.Fatalf("only %d processes", len(rows))
+	}
+	var totalEvents uint64
+	for _, r := range rows {
+		totalEvents += r.Events
+	}
+	if totalEvents == 0 {
+		t.Error("no events attributed")
+	}
+	// User processes dominate scheduled time; their rows carry real names.
+	found := false
+	for _, r := range rows[:3] {
+		if strings.HasPrefix(r.Name, "sdet") || strings.HasPrefix(r.Name, "/sdet") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top rows lack sdet scripts:\n%s", OverviewString(rows[:3]))
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// ProfileRow is one line of the statistical execution profile: a sample
+// count and the function it landed in.
+type ProfileRow struct {
+	Count int
+	SymID uint64
+	Name  string
+}
+
+// Profile is the per-process histogram of Figure 6, driven by the
+// PC-sampling events: "an event that logs the program counter at random
+// times is used to drive statistical execution profiling. Post-processing
+// analysis maps the pc values to C function names and provides a sorted
+// histogram of the routines that were statistically most active."
+type Profile struct {
+	Pid     uint64
+	Total   int
+	Rows    []ProfileRow
+	mapped  string
+	samples map[uint64]int
+}
+
+// Profile builds the execution profile for one pid (use ^uint64(0) for all
+// pids combined). Samples are attributed to the domain pid recorded in the
+// sample event itself.
+func (t *Trace) Profile(pid uint64) *Profile {
+	p := &Profile{Pid: pid, samples: map[uint64]int{}}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Major() != event.MajorSample || e.Minor() != ksim.EvSamplePC || len(e.Data) < 2 {
+			continue
+		}
+		if pid != ^uint64(0) && e.Data[1] != pid {
+			continue
+		}
+		p.samples[e.Data[0]]++
+		p.Total++
+	}
+	for sym, n := range p.samples {
+		p.Rows = append(p.Rows, ProfileRow{Count: n, SymID: sym, Name: t.SymName(sym)})
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		if p.Rows[i].Count != p.Rows[j].Count {
+			return p.Rows[i].Count > p.Rows[j].Count
+		}
+		return p.Rows[i].Name < p.Rows[j].Name
+	})
+	p.mapped = t.ProcName(pid)
+	return p
+}
+
+// Format writes the histogram in Figure 6's layout.
+func (p *Profile) Format(w io.Writer, top int) error {
+	if top <= 0 || top > len(p.Rows) {
+		top = len(p.Rows)
+	}
+	hdr := fmt.Sprintf("histogram for pid 0x%x mapped filename %s", p.Pid, p.mapped)
+	if p.Pid == ^uint64(0) {
+		hdr = "histogram for all processes"
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%6s method\n", hdr, "count"); err != nil {
+		return err
+	}
+	for _, r := range p.Rows[:top] {
+		if _, err := fmt.Fprintf(w, "%6d %s\n", r.Count, r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Top returns the most-sampled symbol name (empty if no samples).
+func (p *Profile) Top() string {
+	if len(p.Rows) == 0 {
+		return ""
+	}
+	return p.Rows[0].Name
+}
+
+// String renders the top-12 histogram.
+func (p *Profile) String() string {
+	var b strings.Builder
+	p.Format(&b, 12)
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// Trace is a decoded event stream plus the naming context reconstructed
+// from the stream's self-describing definition events: symbol names
+// (SYMDEF), lock call chains (CHAINDEF), file names (IO_NAME), and process
+// names (RUN_UL_LOADER). Tools operate on a Trace.
+type Trace struct {
+	Events  []event.Event
+	ClockHz uint64
+	Reg     *event.Registry
+
+	Syms   map[uint64]string
+	Chains map[uint64][]string
+	Files  map[uint64]string
+	Procs  map[uint64]string
+	// ThreadPid maps thread ids to their owning process, reconstructed
+	// from scheduler switch and thread-spawn events.
+	ThreadPid map[uint64]uint64
+}
+
+// Build constructs a Trace from a time-merged event stream. hz is the
+// trace clock rate (from the file header); reg resolves event descriptions
+// (usually event.Default).
+func Build(evs []event.Event, hz uint64, reg *event.Registry) *Trace {
+	if hz == 0 {
+		hz = 1e9
+	}
+	if reg == nil {
+		reg = event.Default
+	}
+	t := &Trace{
+		Events:    evs,
+		ClockHz:   hz,
+		Reg:       reg,
+		Syms:      map[uint64]string{},
+		Chains:    map[uint64][]string{},
+		Files:     map[uint64]string{},
+		Procs:     map[uint64]string{PidKernelID: "kernel", PidBaseServersID: "baseServers"},
+		ThreadPid: map[uint64]uint64{},
+	}
+	for i := range evs {
+		e := &evs[i]
+		switch e.Major() {
+		case event.MajorSample:
+			switch e.Minor() {
+			case ksim.EvSymDef:
+				if id, s, ok := wordAndString(e.Data); ok {
+					t.Syms[id] = s
+				}
+			case ksim.EvChainDef:
+				if id, s, ok := wordAndString(e.Data); ok {
+					t.Chains[id] = strings.Split(s, " < ")
+				}
+			}
+		case event.MajorIO:
+			if e.Minor() == ksim.EvIOName {
+				if id, s, ok := wordAndString(e.Data); ok {
+					t.Files[id] = s
+				}
+			}
+		case event.MajorUser:
+			if e.Minor() == ksim.EvUserRunULoader && len(e.Data) >= 3 {
+				// payload: creator, pid, name-string
+				pid := e.Data[1]
+				if s, ok := decodeString(e.Data[2:]); ok {
+					t.Procs[pid] = s
+				}
+			}
+		case event.MajorSched:
+			if e.Minor() == ksim.EvSchedSwitch && len(e.Data) >= 3 {
+				t.ThreadPid[e.Data[2]] = e.Data[1]
+			}
+		case event.MajorProc:
+			if e.Minor() == ksim.EvProcSpawn && len(e.Data) >= 2 {
+				t.ThreadPid[e.Data[1]] = e.Data[0]
+			}
+		}
+	}
+	return t
+}
+
+// Well-known pids re-exported for naming.
+const (
+	PidKernelID      = ksim.PidKernel
+	PidBaseServersID = ksim.PidBaseServers
+)
+
+// wordAndString decodes a payload of one word followed by a string.
+func wordAndString(data []uint64) (uint64, string, bool) {
+	if len(data) < 2 {
+		return 0, "", false
+	}
+	s, ok := decodeString(data[1:])
+	return data[0], s, ok
+}
+
+// decodeString decodes a NUL-terminated word-packed string.
+func decodeString(words []uint64) (string, bool) {
+	var b []byte
+	for _, w := range words {
+		for j := 0; j < 8; j++ {
+			c := byte(w >> uint(8*j))
+			if c == 0 {
+				return string(b), true
+			}
+			b = append(b, c)
+		}
+	}
+	return "", false
+}
+
+// SymName resolves a symbol id.
+func (t *Trace) SymName(id uint64) string {
+	if s, ok := t.Syms[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("sym#%d", id)
+}
+
+// ChainFrames resolves a call-chain id, innermost frame first.
+func (t *Trace) ChainFrames(id uint64) []string {
+	if c, ok := t.Chains[id]; ok {
+		return c
+	}
+	return []string{fmt.Sprintf("chain#%d", id)}
+}
+
+// FileName resolves a file id.
+func (t *Trace) FileName(id uint64) string {
+	if s, ok := t.Files[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("file#%d", id)
+}
+
+// ProcName resolves a pid to its script/command name.
+func (t *Trace) ProcName(pid uint64) string {
+	if s, ok := t.Procs[pid]; ok {
+		return s
+	}
+	return fmt.Sprintf("pid%d", pid)
+}
+
+// Seconds converts a timestamp to seconds.
+func (t *Trace) Seconds(ts uint64) float64 { return float64(ts) / float64(t.ClockHz) }
+
+// Span returns the first and last event timestamps.
+func (t *Trace) Span() (first, last uint64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	first = t.Events[0].Time
+	last = t.Events[0].Time
+	for i := range t.Events {
+		ts := t.Events[i].Time
+		if ts < first {
+			first = ts
+		}
+		if ts > last {
+			last = ts
+		}
+	}
+	return first, last
+}

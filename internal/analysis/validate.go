@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// Validation implements the self-check a tracing toolkit needs: the
+// post-processing tools promise to detect improbable data ("with high
+// probability ... errors can be detected by the post-processing tools"),
+// and this is where the stream's structural invariants are enforced:
+// per-CPU timestamp monotonicity, balanced enter/exit pairs for syscalls,
+// PPC calls, page faults, and interrupts, lock event pairing, and event
+// registration coverage.
+
+// Violation is one detected inconsistency.
+type Violation struct {
+	Kind string
+	CPU  int
+	Time uint64
+	Msg  string
+}
+
+// ValidationReport summarizes a trace check.
+type ValidationReport struct {
+	Events     int
+	Unknown    int // events with no registry entry
+	Violations []Violation
+}
+
+// OK reports whether the trace passed all structural checks.
+func (r *ValidationReport) OK() bool { return len(r.Violations) == 0 }
+
+// Validate runs the structural checks over the trace.
+func (t *Trace) Validate() *ValidationReport {
+	rep := &ValidationReport{}
+	type pairState struct {
+		depth int
+	}
+	lastTime := map[int]uint64{}
+	depths := map[int]map[string]*pairState{} // per CPU, per pair kind
+	lockHeld := map[int]map[uint64]bool{}     // per CPU, contended locks awaiting release
+	waiting := map[int]uint64{}               // per CPU: lock currently being waited on (0 none)
+
+	viol := func(kind string, cpu int, ts uint64, format string, args ...interface{}) {
+		if len(rep.Violations) < 1000 {
+			rep.Violations = append(rep.Violations,
+				Violation{Kind: kind, CPU: cpu, Time: ts, Msg: fmt.Sprintf(format, args...)})
+		}
+	}
+	enter := func(cpu int, kind string) {
+		m := depths[cpu]
+		if m == nil {
+			m = map[string]*pairState{}
+			depths[cpu] = m
+		}
+		s := m[kind]
+		if s == nil {
+			s = &pairState{}
+			m[kind] = s
+		}
+		s.depth++
+	}
+	exit := func(cpu int, ts uint64, kind string) {
+		m := depths[cpu]
+		if m == nil || m[kind] == nil || m[kind].depth == 0 {
+			viol("unbalanced", cpu, ts, "%s exit without matching entry", kind)
+			return
+		}
+		m[kind].depth--
+	}
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		rep.Events++
+		if prev, ok := lastTime[e.CPU]; ok && e.Time < prev {
+			viol("time", e.CPU, e.Time, "timestamp %d after %d", e.Time, prev)
+		}
+		lastTime[e.CPU] = e.Time
+		if t.Reg.Lookup(e.Major(), e.Minor()) == nil {
+			rep.Unknown++
+		}
+		switch e.Major() {
+		case event.MajorSyscall:
+			if e.Minor() == ksim.EvSyscallEnter {
+				enter(e.CPU, "syscall")
+			} else if e.Minor() == ksim.EvSyscallExit {
+				exit(e.CPU, e.Time, "syscall")
+			}
+		case event.MajorException:
+			switch e.Minor() {
+			case ksim.EvPPCCall:
+				enter(e.CPU, "ppc")
+			case ksim.EvPPCReturn:
+				exit(e.CPU, e.Time, "ppc")
+			case ksim.EvPgflt:
+				enter(e.CPU, "pgflt")
+			case ksim.EvPgfltDone:
+				exit(e.CPU, e.Time, "pgflt")
+			case ksim.EvIRQEnter:
+				enter(e.CPU, "irq")
+			case ksim.EvIRQExit:
+				exit(e.CPU, e.Time, "irq")
+			}
+		case event.MajorLock:
+			if lockHeld[e.CPU] == nil {
+				lockHeld[e.CPU] = map[uint64]bool{}
+			}
+			switch e.Minor() {
+			case ksim.EvLockStartWait:
+				if len(e.Data) >= 1 {
+					if w := waiting[e.CPU]; w != 0 {
+						viol("lock", e.CPU, e.Time, "wait on %x begins while still waiting on %x", e.Data[0], w)
+					}
+					waiting[e.CPU] = e.Data[0]
+				}
+			case ksim.EvLockAcquired:
+				if len(e.Data) >= 1 {
+					if waiting[e.CPU] != e.Data[0] {
+						viol("lock", e.CPU, e.Time, "acquired %x without a wait event", e.Data[0])
+					}
+					waiting[e.CPU] = 0
+					lockHeld[e.CPU][e.Data[0]] = true
+				}
+			case ksim.EvLockRelease:
+				if len(e.Data) >= 1 && !lockHeld[e.CPU][e.Data[0]] {
+					viol("lock", e.CPU, e.Time, "release of %x without contended acquire", e.Data[0])
+				} else if len(e.Data) >= 1 {
+					delete(lockHeld[e.CPU], e.Data[0])
+				}
+			}
+		}
+	}
+	// Unclosed pairs at end-of-trace are normal for truncated captures;
+	// report them as informational violations only when the stream ended
+	// mid-wait (a wait without its acquire is a wedged CPU — exactly what
+	// the flight recorder shows in a deadlock).
+	for cpu, w := range waiting {
+		if w != 0 {
+			viol("wedged", cpu, lastTime[cpu], "trace ends while waiting on lock %x", w)
+		}
+	}
+	return rep
+}
+
+// Format writes the report.
+func (r *ValidationReport) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%d events checked, %d unregistered, %d violations\n",
+		r.Events, r.Unknown, len(r.Violations)); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "  [%s] cpu%d t=%d: %s\n", v.Kind, v.CPU, v.Time, v.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the report.
+func (r *ValidationReport) String() string {
+	var b strings.Builder
+	r.Format(&b)
+	return b.String()
+}

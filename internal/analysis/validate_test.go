@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+func TestValidateCleanSDETTrace(t *testing.T) {
+	tr := sdetTrace(t, 4, false)
+	rep := tr.Validate()
+	if !rep.OK() {
+		t.Fatalf("real trace reported violations:\n%s", rep)
+	}
+	if rep.Events == 0 {
+		t.Fatal("nothing checked")
+	}
+	if rep.Unknown != 0 {
+		t.Errorf("%d unregistered events in an OS trace", rep.Unknown)
+	}
+}
+
+func TestValidateDetectsBackwardsTime(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 100, event.MajorUser, 40, 1),
+		mk(0, 50, event.MajorUser, 40, 2), // goes backwards
+	}
+	rep := Build(evs, 1e9, event.Default).Validate()
+	if rep.OK() {
+		t.Fatal("backwards time not detected")
+	}
+	if rep.Violations[0].Kind != "time" {
+		t.Errorf("kind %q", rep.Violations[0].Kind)
+	}
+}
+
+func TestValidateDetectsUnbalancedPairs(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 10, event.MajorSyscall, ksim.EvSyscallExit, 5, 1), // exit w/o enter
+		mk(0, 20, event.MajorException, ksim.EvPPCReturn, 1),
+		mk(0, 30, event.MajorException, ksim.EvPgfltDone, 5, 1),
+		mk(0, 40, event.MajorException, ksim.EvIRQExit, 0),
+	}
+	rep := Build(evs, 1e9, event.Default).Validate()
+	if len(rep.Violations) != 4 {
+		t.Fatalf("got %d violations, want 4:\n%s", len(rep.Violations), rep)
+	}
+	for _, v := range rep.Violations {
+		if v.Kind != "unbalanced" {
+			t.Errorf("kind %q", v.Kind)
+		}
+	}
+}
+
+func TestValidateDetectsLockAnomalies(t *testing.T) {
+	evs := []event.Event{
+		// Acquired without wait.
+		mk(0, 10, event.MajorLock, ksim.EvLockAcquired, 0xA, 5, 1, 1),
+		// Release of a never-acquired lock.
+		mk(0, 20, event.MajorLock, ksim.EvLockRelease, 0xB, 5),
+		// Wait that never resolves: the wedged-CPU signature.
+		mk(0, 30, event.MajorLock, ksim.EvLockStartWait, 0xC, 1),
+	}
+	rep := Build(evs, 1e9, event.Default).Validate()
+	kinds := map[string]int{}
+	for _, v := range rep.Violations {
+		kinds[v.Kind]++
+	}
+	if kinds["lock"] != 2 || kinds["wedged"] != 1 {
+		t.Fatalf("kinds %v:\n%s", kinds, rep)
+	}
+	if !strings.Contains(rep.String(), "waiting on lock") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestValidateCountsUnknownEvents(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 10, event.MajorTest, 999, 1),
+	}
+	rep := Build(evs, 1e9, event.Default).Validate()
+	if rep.Unknown != 1 {
+		t.Errorf("Unknown = %d", rep.Unknown)
+	}
+}

@@ -1,0 +1,96 @@
+package clock
+
+import "fmt"
+
+// TSC models per-CPU cycle counters that are cheap to read but neither
+// synchronized across CPUs nor running at exactly nominal rate — the x86
+// situation the paper describes for LTT. Each CPU's raw counter is derived
+// from an underlying true-time source by a per-CPU offset and drift:
+//
+//	raw_c(t) = offset_c + t + t*driftPPM_c/1e6
+//
+// Buffers stamped with TSC values must be related to wall time after the
+// fact by interpolating between (raw, wall) anchor pairs taken with the
+// expensive synchronized call at the beginning and end of the run; see
+// Interpolator.
+type TSC struct {
+	base Source
+	cpus []TSCParam
+}
+
+// TSCParam describes one CPU's counter: a boot-time offset in ticks and a
+// frequency error in parts per million.
+type TSCParam struct {
+	Offset   uint64
+	DriftPPM int64
+}
+
+// NewTSC wraps a true-time source with per-CPU skew parameters. params[i]
+// applies to CPU i; CPUs beyond the slice use zero skew.
+func NewTSC(base Source, params []TSCParam) *TSC {
+	return &TSC{base: base, cpus: params}
+}
+
+// Now returns the skewed raw counter value for cpu.
+func (t *TSC) Now(cpu int) uint64 {
+	w := t.base.Now(cpu)
+	if cpu < 0 || cpu >= len(t.cpus) {
+		return w
+	}
+	p := t.cpus[cpu]
+	drift := int64(w) / 1e6 * p.DriftPPM
+	return p.Offset + w + uint64(drift)
+}
+
+// Hz returns the nominal tick rate (that of the underlying source); actual
+// per-CPU rates differ by the drift, which is exactly why interpolation is
+// needed.
+func (t *TSC) Hz() uint64 { return t.base.Hz() }
+
+// Wall returns the true time from the underlying source — the analogue of
+// the expensive synchronized gettimeofday call used only for anchors.
+func (t *TSC) Wall() uint64 { return t.base.Now(0) }
+
+// Anchor is a simultaneous reading of one CPU's raw counter and wall time.
+type Anchor struct {
+	Raw  uint64
+	Wall uint64
+}
+
+// TakeAnchor reads an anchor pair for cpu.
+func (t *TSC) TakeAnchor(cpu int) Anchor {
+	return Anchor{Raw: t.Now(cpu), Wall: t.Wall()}
+}
+
+// Interpolator converts raw per-CPU counter values to wall time by linear
+// interpolation between a start and end anchor, the scheme LTT adopted for
+// x86: "LTT logs the cheaply available tsc with each event, and only at the
+// beginning and end is the more expensive get_timeOfDay call made allowing
+// synchronization between different processors' buffers through
+// interpolation."
+type Interpolator struct {
+	start, end Anchor
+}
+
+// NewInterpolator builds an interpolator for one CPU's counter. The end
+// anchor must be taken after the start anchor.
+func NewInterpolator(start, end Anchor) (*Interpolator, error) {
+	if end.Raw <= start.Raw || end.Wall < start.Wall {
+		return nil, fmt.Errorf("clock: anchors not increasing: start=%+v end=%+v", start, end)
+	}
+	return &Interpolator{start: start, end: end}, nil
+}
+
+// Wall maps a raw counter value to wall time. Values outside the anchor
+// interval extrapolate linearly, matching LTT's behavior for events logged
+// just outside the anchored window.
+func (ip *Interpolator) Wall(raw uint64) uint64 {
+	dr := float64(ip.end.Raw - ip.start.Raw)
+	dw := float64(ip.end.Wall - ip.start.Wall)
+	off := (float64(raw) - float64(ip.start.Raw)) * dw / dr
+	w := float64(ip.start.Wall) + off
+	if w < 0 {
+		return 0
+	}
+	return uint64(w)
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"k42trace/internal/clock"
+	"k42trace/internal/event"
+)
+
+// DecodeStats reports what a buffer decode encountered.
+type DecodeStats struct {
+	// Events is the number of non-filler events decoded (anchors included).
+	Events int
+	// FillerEvents/FillerWords measure alignment padding in the buffer.
+	FillerEvents int
+	FillerWords  int
+	// SkippedWords counts words skipped while resynchronizing past garbled
+	// regions (headers that were not well-formed). "With high probability
+	// (it is unlikely that random data will have the correct format of a
+	// trace event header) errors can be detected by the post-processing
+	// tools."
+	SkippedWords int
+}
+
+// Garbled reports whether the decode had to skip any words.
+func (d DecodeStats) Garbled() bool { return d.SkippedWords > 0 }
+
+// DecodeBuffer walks one buffer's words and returns the decoded events, in
+// order. Variable-length decoding starts from word 0, which is always an
+// event start because events never cross buffer boundaries — this is what
+// makes buffer boundaries random-access points in a large trace.
+//
+// Full 64-bit timestamps are rebuilt from the 32-bit header stamps using
+// the buffer's clock-anchor event; a buffer lacking an anchor (e.g. a
+// partial flush mid-buffer never happens, but a garbled head can lose it)
+// falls back to epoch zero. Malformed headers are skipped word by word
+// until a plausible event start is found, and the skips are reported.
+func DecodeBuffer(cpu int, words []uint64) ([]event.Event, DecodeStats) {
+	var (
+		out    []event.Event
+		st     DecodeStats
+		un     clock.Unwrapper
+		seeded bool
+	)
+	pos := 0
+	for pos < len(words) {
+		h := event.Header(words[pos])
+		if !h.WellFormed() || pos+h.Len() > len(words) {
+			pos++
+			st.SkippedWords++
+			continue
+		}
+		l := h.Len()
+		if h.IsFiller() {
+			st.FillerEvents++
+			st.FillerWords += l
+			pos += l
+			continue
+		}
+		if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && l >= 2 {
+			un.Seed(words[pos+1])
+			seeded = true
+		}
+		if !seeded {
+			un.Seed(uint64(h.Timestamp()))
+			seeded = true
+		}
+		e := event.Event{
+			Header: h,
+			Time:   un.Full(h.Timestamp()),
+			CPU:    cpu,
+		}
+		if l > 1 {
+			e.Data = make([]uint64, l-1)
+			copy(e.Data, words[pos+1:pos+l])
+		}
+		out = append(out, e)
+		st.Events++
+		pos += l
+	}
+	return out, st
+}
+
+// DumpInfo describes one CPU's flight-recorder contents.
+type DumpInfo struct {
+	CPU int
+	// Buffers is the number of buffer generations included (oldest still
+	// resident through the current partial one).
+	Buffers int
+	// Stats aggregates decode statistics over those buffers.
+	Stats DecodeStats
+	// Anomalies counts buffers whose commit count disagreed with the data
+	// present.
+	Anomalies int
+}
+
+// Dump returns the flight recorder's contents for one CPU: the most recent
+// activity, oldest first, exactly what the paper's debugger hook prints
+// after a crash. It quiesces tracing for the duration (disable mask, drain
+// in-flight loggers) and then restores the previous mask, so it can be
+// called on a live system; the perturbation is the quiescent window.
+func (t *Tracer) Dump(cpu int) ([]event.Event, DumpInfo) {
+	old := t.Quiesce()
+	defer t.mask.Store(old)
+	return t.dumpLocked(cpu)
+}
+
+// DumpAll dumps every CPU under a single quiescent window, so the per-CPU
+// streams are mutually consistent.
+func (t *Tracer) DumpAll() ([][]event.Event, []DumpInfo) {
+	old := t.Quiesce()
+	defer t.mask.Store(old)
+	evs := make([][]event.Event, len(t.cpus))
+	infos := make([]DumpInfo, len(t.cpus))
+	for i := range t.cpus {
+		evs[i], infos[i] = t.dumpLocked(i)
+	}
+	return evs, infos
+}
+
+// DecodeRecorder decodes a flight-recorder memory image: the raw trace
+// array of one CPU (numBufs*bufWords words) plus its free-running index.
+// It walks the resident buffer generations oldest-first — the foundation
+// of both live dumps and post-mortem crash-dump decoding.
+func DecodeRecorder(cpu int, buf []uint64, index, bufWords, numBufs uint64) ([]event.Event, DumpInfo) {
+	info := DumpInfo{CPU: cpu}
+	if index == 0 || bufWords == 0 || numBufs == 0 ||
+		uint64(len(buf)) != bufWords*numBufs {
+		return nil, info
+	}
+	indexMask := bufWords*numBufs - 1
+	curGen := index / bufWords
+	off := index & (bufWords - 1)
+	firstGen := uint64(0)
+	if curGen+1 > numBufs {
+		// Older generations have been overwritten; the oldest resident one
+		// is numBufs-1 generations back (the slot about to be reused next
+		// still holds its previous contents).
+		firstGen = curGen + 1 - numBufs
+	}
+	var out []event.Event
+	for g := firstGen; g <= curGen; g++ {
+		n := bufWords
+		if g == curGen {
+			n = off
+			if n == 0 {
+				continue
+			}
+		}
+		lo := (g * bufWords) & indexMask
+		evs, st := DecodeBuffer(cpu, buf[lo:lo+n])
+		out = append(out, evs...)
+		info.Buffers++
+		info.Stats.Events += st.Events
+		info.Stats.FillerEvents += st.FillerEvents
+		info.Stats.FillerWords += st.FillerWords
+		info.Stats.SkippedWords += st.SkippedWords
+	}
+	return out, info
+}
+
+func (t *Tracer) dumpLocked(cpu int) ([]event.Event, DumpInfo) {
+	ctl := t.cpus[cpu]
+	idx := ctl.index.Load()
+	out, info := DecodeRecorder(cpu, ctl.buf, idx, t.bufWords, t.numBufs)
+	if idx == 0 {
+		return out, info
+	}
+	// Anomaly accounting from the live commit counts.
+	bw := t.bufWords
+	curGen := idx / bw
+	off := idx & (bw - 1)
+	firstGen := uint64(0)
+	if curGen+1 > t.numBufs {
+		firstGen = curGen + 1 - t.numBufs
+	}
+	for g := firstGen; g <= curGen; g++ {
+		n := bw
+		if g == curGen {
+			n = off
+			if n == 0 {
+				continue
+			}
+		}
+		sl := &ctl.slots[g&(t.numBufs-1)]
+		if sl.start.Load() == g*bw && sl.committed.Load() != n {
+			info.Anomalies++
+		}
+	}
+	return out, info
+}
+
+// TailEvents returns the last n events from a CPU's flight recorder — the
+// debugger's "print the last set of trace events" entry point, with the
+// same kind of count control K42's had.
+func (t *Tracer) TailEvents(cpu, n int) []event.Event {
+	evs, _ := t.Dump(cpu)
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/event"
+)
+
+// --- ZeroFill -----------------------------------------------------------------
+
+func TestZeroFillRequiresStreamMode(t *testing.T) {
+	if _, err := New(Config{CPUs: 1, BufWords: 64, NumBufs: 2, ZeroFill: true}); err == nil {
+		t.Error("ZeroFill in flight-recorder mode should be rejected")
+	}
+}
+
+func TestZeroFillScrubsRecycledBuffers(t *testing.T) {
+	run := func(zero bool) (staleWords int) {
+		tr := MustNew(Config{CPUs: 1, BufWords: 32, NumBufs: 2, Mode: Stream,
+			ZeroFill: zero, Clock: clock.NewManual(1)})
+		tr.EnableAll()
+		done, stop := collect(tr)
+		c := tr.CPU(0)
+		// Fill several generations with recognizable payloads, then stop
+		// mid-buffer: the current buffer's unused tail is previous-
+		// generation memory unless zero-filled at release.
+		for i := 0; i < 60; i++ {
+			c.Log1(event.MajorTest, 1, 0xDEAD0000+uint64(i))
+		}
+		stop()
+		<-done
+		// Inspect the slot holding the final partial buffer: the words
+		// past the flush offset are the recycled remains.
+		ctl := tr.cpus[0]
+		idx := ctl.index.Load()
+		off := idx & 31
+		lo := (idx - off) & tr.indexMask
+		for i := lo + off; i < lo+32; i++ {
+			if ctl.buf[i] != 0 {
+				staleWords++
+			}
+		}
+		return staleWords
+	}
+	if s := run(false); s == 0 {
+		t.Error("without ZeroFill, recycled buffers should retain stale words (test premise)")
+	}
+	if s := run(true); s != 0 {
+		t.Errorf("with ZeroFill, %d stale words survived recycling", s)
+	}
+}
+
+// --- Crash dump ----------------------------------------------------------------
+
+func TestCrashDumpRoundTrip(t *testing.T) {
+	tr, _ := newFR(t, 2, 64, 4)
+	tr.EnableAll()
+	for i := 0; i < 300; i++ {
+		tr.CPU(i%2).Log1(event.MajorTest, 1, uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCrashDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCrashDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CPUs != 2 || d.BufWords != 64 || d.NumBufs != 4 || d.ClockHz != 1e9 {
+		t.Fatalf("geometry %+v", d)
+	}
+	// The dump must decode to exactly what a live Dump sees.
+	for cpu := 0; cpu < 2; cpu++ {
+		live, liveInfo := tr.Dump(cpu)
+		dead, deadInfo, err := d.Events(cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live) != len(dead) {
+			t.Fatalf("cpu %d: crash dump has %d events, live dump %d", cpu, len(dead), len(live))
+		}
+		for i := range live {
+			if live[i].Header != dead[i].Header || live[i].Time != dead[i].Time {
+				t.Fatalf("cpu %d event %d differs", cpu, i)
+			}
+		}
+		if deadInfo.Anomalies != liveInfo.Anomalies {
+			t.Errorf("cpu %d anomalies: %d vs %d", cpu, deadInfo.Anomalies, liveInfo.Anomalies)
+		}
+	}
+	// AllEvents covers every CPU.
+	evs, infos, err := d.AllEvents()
+	if err != nil || len(evs) != 2 || len(infos) != 2 {
+		t.Fatalf("AllEvents: %v", err)
+	}
+}
+
+func TestCrashDumpDetectsKilledWriter(t *testing.T) {
+	tr, _ := newFR(t, 1, 32, 2)
+	tr.EnableAll()
+	c := tr.CPU(0)
+	c.Log1(event.MajorTest, 1, 1)
+	c.ReserveOnly(event.MajorTest, 2, 3) // reserved, never written
+	c.Log1(event.MajorTest, 3, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteCrashDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCrashDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := d.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Anomalies == 0 {
+		t.Error("crash dump should flag the commit-count shortfall")
+	}
+	if info.Stats.SkippedWords == 0 {
+		t.Error("decoder should skip the unwritten hole")
+	}
+}
+
+func TestCrashDumpRejectsCorrupt(t *testing.T) {
+	if _, err := ReadCrashDump(bytes.NewReader([]byte("not a dump at all........."))); err == nil {
+		t.Error("garbage accepted as crash dump")
+	}
+	tr, _ := newFR(t, 1, 64, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteCrashDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-memory.
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadCrashDump(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated dump accepted")
+	}
+	// Corrupt version.
+	b := append([]byte(nil), buf.Bytes()...)
+	b[8] = 9
+	if _, err := ReadCrashDump(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// --- Redaction -----------------------------------------------------------------
+
+func TestRedactHidesOnlyInvisibleMajors(t *testing.T) {
+	tr, _ := newFR(t, 1, 128, 2)
+	tr.EnableAll()
+	c := tr.CPU(0)
+	c.Log1(event.MajorMem, 1, 0x1111)
+	c.Log2(event.MajorUser, 2, 0x2222, 0x3333)
+	c.Log1(event.MajorMem, 3, 0x4444)
+	c.Log0(event.MajorIO, 4)
+	old := tr.Quiesce()
+	defer tr.SetMask(old)
+	idx := tr.cpus[0].index.Load()
+	words := tr.cpus[0].buf[:idx]
+
+	red := Redact(words, VisibleMask(event.MajorMem))
+	evs, st := DecodeBuffer(0, red)
+	if st.Garbled() {
+		t.Fatalf("redacted buffer garbled: %+v", st)
+	}
+	var visible []event.Event
+	for _, e := range evs {
+		if e.Major() != event.MajorControl {
+			visible = append(visible, e)
+		}
+	}
+	if len(visible) != 2 {
+		t.Fatalf("got %d visible events, want 2 MEM events", len(visible))
+	}
+	for _, e := range visible {
+		if e.Major() != event.MajorMem {
+			t.Errorf("leaked event %v", e.Header)
+		}
+	}
+	// Hidden payloads must not appear anywhere in the redacted words.
+	for _, w := range red {
+		if w == 0x2222 || w == 0x3333 {
+			t.Fatal("hidden payload leaked through redaction")
+		}
+	}
+	// Alignment preserved: redacted buffer has the same length and the
+	// same event-boundary structure (total decoded words match).
+	if len(red) != len(words) {
+		t.Fatal("redaction changed buffer size")
+	}
+	// Timestamps stay monotone.
+	var prev uint64
+	for _, e := range evs {
+		if e.Time < prev {
+			t.Fatal("redaction broke timestamp monotonicity")
+		}
+		prev = e.Time
+	}
+}
+
+func TestRedactScrubsGarble(t *testing.T) {
+	words := []uint64{
+		uint64(event.MakeHeader(1, 2, event.MajorUser, 1)), 0xAAAA,
+		0xffffffffffffffff, // garble (length field = max, overruns)
+		uint64(event.MakeHeader(2, 1, event.MajorMem, 2)),
+	}
+	red := Redact(words, VisibleMask(event.MajorMem))
+	if red[2] != 0 {
+		t.Errorf("garble word not scrubbed: %x", red[2])
+	}
+	if red[1] == 0xAAAA {
+		t.Error("hidden payload survived")
+	}
+}
+
+func TestRedactSealedCopies(t *testing.T) {
+	orig := Sealed{Words: []uint64{
+		uint64(event.MakeHeader(1, 2, event.MajorUser, 1)), 0xBEEF,
+	}}
+	red := RedactSealed(orig, 0)
+	if orig.Words[1] != 0xBEEF {
+		t.Error("redaction modified the original")
+	}
+	if red.Words[1] == 0xBEEF {
+		t.Error("redacted copy retains payload")
+	}
+}
+
+func TestVisibleMask(t *testing.T) {
+	m := VisibleMask(event.MajorMem, event.MajorIO)
+	if m != event.MajorMem.Bit()|event.MajorIO.Bit() {
+		t.Errorf("mask %x", m)
+	}
+}
+
+// --- DecodeRecorder edge cases ---------------------------------------------------
+
+func TestDecodeRecorderEdges(t *testing.T) {
+	if evs, info := DecodeRecorder(0, nil, 0, 64, 2); evs != nil || info.Buffers != 0 {
+		t.Error("empty recorder should decode to nothing")
+	}
+	if evs, _ := DecodeRecorder(0, make([]uint64, 128), 10, 64, 4); evs != nil {
+		t.Error("mismatched geometry should decode to nothing")
+	}
+}

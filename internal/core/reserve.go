@@ -1,0 +1,382 @@
+package core
+
+import (
+	"runtime"
+
+	"k42trace/internal/event"
+)
+
+// slowResult is the outcome of one slow-path attempt.
+type slowResult int
+
+const (
+	slowWon     slowResult = iota // space reserved; caller may log
+	slowRetry                     // lost a race or waiting; re-run the loop
+	slowDropped                   // event dropped (Drop policy or shutdown)
+)
+
+// reserve implements traceReserve from Figure 2 of the paper. It reserves
+// length words (header included) in this CPU's trace memory and returns
+// the free-running start index and the timestamp to put in the header.
+//
+// The timestamp is (re-)read inside the retry loop, immediately before the
+// compare-and-swap: "it is important to guarantee monotonically increasing
+// timestamps [so] processes must re-determine the timestamp during each
+// attempt to atomically increment the index." A successful CAS therefore
+// orders the timestamp read after the previous winner's CAS, making each
+// CPU's stream monotone.
+func (ctl *TrcCtl) reserve(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
+	t := ctl.t
+	bw := t.bufWords
+	if t.cfg.UnsafeStaleTimestamp {
+		// Ablation: the bug the paper warns against — one read before the
+		// loop. A process that loses the CAS and retries keeps its stale
+		// timestamp, so a competitor can take an earlier slot with a later
+		// stamp (or vice versa), breaking per-stream monotonicity.
+		ts = t.clock.Now(ctl.cpu)
+	}
+	for {
+		old := ctl.index.Load()
+		off := old & (bw - 1)
+		if off == 0 || off+uint64(length) > bw {
+			i, s, res := ctl.reserveSlow(bit, old, length)
+			switch res {
+			case slowWon:
+				return i, s, true
+			case slowDropped:
+				return 0, 0, false
+			}
+			continue // slowRetry
+		}
+		if !t.cfg.UnsafeStaleTimestamp {
+			ts = t.clock.Now(ctl.cpu)
+		}
+		if ctl.index.CompareAndSwap(old, old+uint64(length)) {
+			if (old+uint64(length))&(bw-1) == 0 {
+				ctl.stats.exactFit.Add(1)
+			}
+			return old, ts, true
+		}
+		ctl.stats.retries.Add(1)
+	}
+}
+
+// reserveSlow handles reservations that start a new buffer: when the
+// reservation would cross the alignment boundary (a filler event pads the
+// remainder) or when the index sits exactly on a boundary (a fresh buffer
+// is being entered). The winner of the CAS becomes the transition owner:
+// it writes the filler, claims the next buffer slot, logs the clock-anchor
+// event that begins every buffer, and returns the space for the caller's
+// own event just after the anchor.
+func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint64, slowResult) {
+	t := ctl.t
+	bw := t.bufWords
+	off := old & (bw - 1)
+	boundary := old
+	if off != 0 {
+		boundary = old + bw - off
+	}
+	fill := boundary - old
+	target := boundary + anchorWords + uint64(length)
+
+	newSlot := &ctl.slots[(boundary/bw)&(t.numBufs-1)]
+	if t.cfg.Mode == Stream && newSlot.state.Load() != slotFree {
+		// The consumer has not released this buffer yet.
+		switch t.cfg.OnFull {
+		case Drop:
+			ctl.stats.dropped.Add(1)
+			return 0, 0, slowDropped
+		default: // Block
+			if t.mask.Load()&bit == 0 {
+				// Tracing was disabled (or the tracer stopped) while we
+				// waited; bail out rather than blocking shutdown.
+				ctl.stats.dropped.Add(1)
+				return 0, 0, slowDropped
+			}
+			ctl.stats.blockWaits.Add(1)
+			runtime.Gosched()
+			return 0, 0, slowRetry
+		}
+	}
+
+	ts := t.clock.Now(ctl.cpu)
+	if !ctl.index.CompareAndSwap(old, target) {
+		ctl.stats.retries.Add(1)
+		return 0, 0, slowRetry
+	}
+
+	// We are the unique transition winner for this boundary.
+	newSlot.state.Store(slotInUse)
+	newSlot.start.Store(boundary)
+	if t.cfg.Mode == FlightRecorder {
+		// Recycle the slot's accounting for the new generation. (In Stream
+		// mode the consumer's Release resets it while the slot is
+		// quiescent.)
+		newSlot.committed.Store(0)
+	}
+	if fill > 0 {
+		ctl.writeFiller(old, fill, uint32(ts))
+		ctl.commit(old, fill)
+	}
+	pos := boundary & t.indexMask
+	ctl.buf[pos] = uint64(event.MakeHeader(uint32(ts), anchorWords,
+		event.MajorControl, event.CtrlClockAnchor))
+	ctl.buf[pos+1] = ts
+	ctl.stats.anchors.Add(1)
+	ctl.commit(boundary, anchorWords)
+	if target&(bw-1) == 0 {
+		ctl.stats.exactFit.Add(1)
+	}
+	return boundary + anchorWords, ts, slowWon
+}
+
+// writeFiller pads [from, from+n) with filler events: bare headers whose
+// length covers the padded words ("a filler event is just a header with a
+// length equal to the remainder of the current buffer; no data need be
+// logged"). Remainders larger than the maximum event length chain multiple
+// fillers.
+func (ctl *TrcCtl) writeFiller(from, n uint64, ts32 uint32) {
+	mask := ctl.t.indexMask
+	ctl.stats.fillerWords.Add(n)
+	for n > 0 {
+		l := n
+		if l > event.MaxWords {
+			l = event.MaxWords
+		}
+		ctl.buf[from&mask] = uint64(event.MakeHeader(ts32, int(l),
+			event.MajorControl, event.CtrlFiller))
+		ctl.stats.fillerEvents.Add(1)
+		from += l
+		n -= l
+	}
+}
+
+// commit is traceCommit: it adds words to the per-buffer count of data
+// actually logged. When the count reaches the buffer size the buffer is
+// complete; in Stream mode the committer that completes it seals it and
+// hands it to the consumer. A buffer whose count never reaches its size
+// had a writer that reserved space but never finished logging — the
+// anomaly the per-buffer counts exist to detect.
+func (ctl *TrcCtl) commit(idx uint64, words uint64) {
+	t := ctl.t
+	s := &ctl.slots[(idx/t.bufWords)&(t.numBufs-1)]
+	c := s.committed.Add(words)
+	if c == t.bufWords && t.cfg.Mode == Stream {
+		s.state.Store(slotPending)
+		start := s.start.Load()
+		lo := start & t.indexMask
+		ctl.stats.seals.Add(1)
+		t.sealed <- Sealed{
+			CPU:       ctl.cpu,
+			Seq:       start / t.bufWords,
+			Start:     start,
+			Words:     ctl.buf[lo : lo+t.bufWords],
+			Committed: t.bufWords,
+		}
+	}
+}
+
+// begin is the common prologue of every logging call: it registers the
+// logger as in-flight (so flight-recorder dumps can drain to quiescence),
+// re-checks the mask (closing the race with a concurrent dump disabling
+// tracing), and reserves space.
+func (ctl *TrcCtl) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
+	ctl.inflight.Add(1)
+	if ctl.t.mask.Load()&bit == 0 {
+		ctl.inflight.Add(-1)
+		return 0, 0, false
+	}
+	if uint64(length) > ctl.t.bufWords-anchorWords || length > event.MaxWords {
+		ctl.stats.tooLarge.Add(1)
+		ctl.inflight.Add(-1)
+		return 0, 0, false
+	}
+	idx, ts, ok = ctl.reserve(bit, length)
+	if !ok {
+		ctl.inflight.Add(-1)
+	}
+	return idx, ts, ok
+}
+
+// end is the epilogue: the logger is no longer in flight.
+func (ctl *TrcCtl) end() { ctl.inflight.Add(-1) }
+
+// --- Logging entry points ---------------------------------------------------
+//
+// Log0..Log4 are the analogue of K42's per-major-ID macros: "events with a
+// constant number of data words [are] logged efficiently, without the use
+// of variable argument functions." Log is the generic variadic function
+// used for non-constant-length data.
+
+// Log0 logs an event with no payload. It reports whether the event was
+// logged (false: tracing disabled for the major, event dropped, or too
+// large).
+func (c CPU) Log0(major event.Major, minor uint16) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	idx, ts, ok := ctl.begin(bit, 1)
+	if !ok {
+		return false
+	}
+	ctl.buf[idx&ctl.t.indexMask] = uint64(event.MakeHeader(uint32(ts), 1, major, minor))
+	ctl.commit(idx, 1)
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(1)
+	ctl.end()
+	return true
+}
+
+// Log1 logs an event with one 64-bit payload word.
+func (c CPU) Log1(major event.Major, minor uint16, d0 uint64) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	idx, ts, ok := ctl.begin(bit, 2)
+	if !ok {
+		return false
+	}
+	p := idx & ctl.t.indexMask
+	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 2, major, minor))
+	ctl.buf[p+1] = d0
+	ctl.commit(idx, 2)
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(2)
+	ctl.end()
+	return true
+}
+
+// Log2 logs an event with two 64-bit payload words.
+func (c CPU) Log2(major event.Major, minor uint16, d0, d1 uint64) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	idx, ts, ok := ctl.begin(bit, 3)
+	if !ok {
+		return false
+	}
+	p := idx & ctl.t.indexMask
+	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 3, major, minor))
+	ctl.buf[p+1] = d0
+	ctl.buf[p+2] = d1
+	ctl.commit(idx, 3)
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(3)
+	ctl.end()
+	return true
+}
+
+// Log3 logs an event with three 64-bit payload words.
+func (c CPU) Log3(major event.Major, minor uint16, d0, d1, d2 uint64) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	idx, ts, ok := ctl.begin(bit, 4)
+	if !ok {
+		return false
+	}
+	p := idx & ctl.t.indexMask
+	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 4, major, minor))
+	ctl.buf[p+1] = d0
+	ctl.buf[p+2] = d1
+	ctl.buf[p+3] = d2
+	ctl.commit(idx, 4)
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(4)
+	ctl.end()
+	return true
+}
+
+// Log4 logs an event with four 64-bit payload words.
+func (c CPU) Log4(major event.Major, minor uint16, d0, d1, d2, d3 uint64) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	idx, ts, ok := ctl.begin(bit, 5)
+	if !ok {
+		return false
+	}
+	p := idx & ctl.t.indexMask
+	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 5, major, minor))
+	ctl.buf[p+1] = d0
+	ctl.buf[p+2] = d1
+	ctl.buf[p+3] = d2
+	ctl.buf[p+4] = d3
+	ctl.commit(idx, 5)
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(5)
+	ctl.end()
+	return true
+}
+
+// Log logs an event with an arbitrary payload — the generic function per
+// major ID of the paper. The payload is copied into the trace buffer.
+func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
+	return c.LogWords(major, minor, data)
+}
+
+// LogWords logs an event whose payload is the given word slice. Use
+// event.Pack to build payloads containing packed sub-word fields or
+// strings.
+func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	length := 1 + len(data)
+	idx, ts, ok := ctl.begin(bit, length)
+	if !ok {
+		return false
+	}
+	p := idx & ctl.t.indexMask
+	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), length, major, minor))
+	copy(ctl.buf[p+1:p+uint64(length)], data)
+	ctl.commit(idx, uint64(length))
+	ctl.stats.events.Add(1)
+	ctl.stats.words.Add(uint64(length))
+	ctl.end()
+	return true
+}
+
+// LogDesc packs values per the event description's token list and logs
+// them. It is the convenient (not the fast) path: use it for rare events
+// with strings or mixed-width fields.
+func (c CPU) LogDesc(d *event.Desc, vals ...event.Value) bool {
+	if !c.Enabled(d.Major) {
+		return false
+	}
+	words, err := event.Pack(d.Tokens, vals)
+	if err != nil {
+		return false
+	}
+	return c.LogWords(d.Major, d.Minor, words)
+}
+
+// ReserveOnly reserves space for an event but never writes or commits it.
+// It exists solely to inject the paper's failure mode — "a process's
+// execution may be interrupted after it has reserved space to log an
+// event, but before it actually performs the log" (killed mid-log) — so
+// tests can verify that commit-count anomaly detection catches it.
+func (c CPU) ReserveOnly(major event.Major, minor uint16, payloadWords int) bool {
+	ctl := c.ctl
+	bit := major.Bit()
+	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	_, _, ok := ctl.begin(bit, 1+payloadWords)
+	if ok {
+		ctl.end()
+	}
+	return ok
+}

@@ -1,0 +1,92 @@
+package core
+
+import "sync/atomic"
+
+// CPUStats are the per-CPU counters maintained by the logging paths. They
+// live inside the padded TrcCtl so updates never contend across CPUs.
+type CPUStats struct {
+	events       atomic.Uint64
+	words        atomic.Uint64
+	retries      atomic.Uint64
+	fillerEvents atomic.Uint64
+	fillerWords  atomic.Uint64
+	exactFit     atomic.Uint64
+	dropped      atomic.Uint64
+	tooLarge     atomic.Uint64
+	seals        atomic.Uint64
+	blockWaits   atomic.Uint64
+	anchors      atomic.Uint64
+}
+
+// Stats is a snapshot of tracing counters, either for one CPU or summed
+// across all CPUs.
+type Stats struct {
+	// Events and Words count successfully logged events and their total
+	// size (headers included), excluding fillers and anchors.
+	Events uint64
+	Words  uint64
+	// Retries counts failed CAS attempts in reserve — a direct measure of
+	// logging contention within a CPU slot.
+	Retries uint64
+	// FillerEvents/FillerWords measure alignment waste: the space consumed
+	// padding buffer tails so events never cross boundaries (experiment C6).
+	FillerEvents uint64
+	FillerWords  uint64
+	// ExactFit counts events that ended exactly on a buffer boundary and so
+	// needed no filler (the paper: "30 to 40 percent of events end exactly
+	// on a buffer boundary").
+	ExactFit uint64
+	// Dropped counts events discarded by the Drop policy or during
+	// shutdown; TooLarge counts events rejected for exceeding a buffer.
+	Dropped  uint64
+	TooLarge uint64
+	// Seals counts buffers handed to the Stream consumer; Anchors counts
+	// buffer-start clock anchors; BlockWaits counts scheduler yields spent
+	// waiting for the consumer under the Block policy.
+	Seals      uint64
+	Anchors    uint64
+	BlockWaits uint64
+}
+
+func (s *CPUStats) snapshot() Stats {
+	return Stats{
+		Events:       s.events.Load(),
+		Words:        s.words.Load(),
+		Retries:      s.retries.Load(),
+		FillerEvents: s.fillerEvents.Load(),
+		FillerWords:  s.fillerWords.Load(),
+		ExactFit:     s.exactFit.Load(),
+		Dropped:      s.dropped.Load(),
+		TooLarge:     s.tooLarge.Load(),
+		Seals:        s.seals.Load(),
+		Anchors:      s.anchors.Load(),
+		BlockWaits:   s.blockWaits.Load(),
+	}
+}
+
+func (a Stats) add(b Stats) Stats {
+	a.Events += b.Events
+	a.Words += b.Words
+	a.Retries += b.Retries
+	a.FillerEvents += b.FillerEvents
+	a.FillerWords += b.FillerWords
+	a.ExactFit += b.ExactFit
+	a.Dropped += b.Dropped
+	a.TooLarge += b.TooLarge
+	a.Seals += b.Seals
+	a.Anchors += b.Anchors
+	a.BlockWaits += b.BlockWaits
+	return a
+}
+
+// CPUStats returns a snapshot of one CPU's counters.
+func (t *Tracer) CPUStats(cpu int) Stats { return t.cpus[cpu].stats.snapshot() }
+
+// Stats returns counters summed across all CPUs.
+func (t *Tracer) Stats() Stats {
+	var sum Stats
+	for _, c := range t.cpus {
+		sum = sum.add(c.stats.snapshot())
+	}
+	return sum
+}

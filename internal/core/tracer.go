@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/event"
+)
+
+// anchorWords is the size of the clock-anchor event that begins every
+// buffer: header + one payload word carrying the full 64-bit timestamp.
+const anchorWords = 2
+
+// slot states; see slot.state.
+const (
+	slotFree    uint32 = iota // available for writers
+	slotInUse                 // current generation being filled
+	slotPending               // sealed, awaiting consumer Release
+)
+
+// slot is the per-buffer bookkeeping: the commit count that detects
+// garbled buffers, and the recycle state used in Stream mode.
+type slot struct {
+	// committed counts 64-bit words actually written into the current
+	// generation of this buffer (event payloads, headers, fillers, the
+	// anchor). When it reaches BufWords the buffer is complete and is
+	// sealed. A shortfall at flush time means a writer reserved space but
+	// never logged — the anomaly the paper's per-buffer counts detect.
+	committed atomic.Uint64
+	// state is the recycle state (slotFree/slotInUse/slotPending).
+	state atomic.Uint32
+	// start is the free-running word index of this generation's first word,
+	// recorded by the transition winner; used by seals and flushes.
+	start atomic.Uint64
+}
+
+// TrcCtl is the per-processor trace control structure. All hot state for
+// logging on one CPU lives here, padded so that different CPUs' control
+// structures never share a cache line (the paper's "memory bound to a
+// specific processor").
+type TrcCtl struct {
+	// index is the free-running reservation index in words. The low bits
+	// (index & indexMask) locate the position in buf.
+	index atomic.Uint64
+	// inflight counts loggers currently between reservation and commit on
+	// this CPU; the flight-recorder dump drains it to get a quiescent,
+	// race-free view of the buffers.
+	inflight atomic.Int64
+	_        [48]byte // pad index+inflight away from the rest
+
+	buf   []uint64 // NumBufs*BufWords trace words
+	slots []slot
+	cpu   int
+	t     *Tracer
+
+	stats CPUStats
+	_     [64]byte // pad tail: adjacent TrcCtls never share a line
+}
+
+// Tracer is a unified tracing facility: a 64-bit mask gating 64 major
+// event classes, per-CPU lockless buffers, and either flight-recorder or
+// streaming buffer management. A single Tracer serves "applications,
+// libraries, servers, and the kernel" — every component logs into the
+// same per-CPU buffers with monotonically increasing timestamps.
+type Tracer struct {
+	mask atomic.Uint64
+	_    [56]byte // keep the hot mask word on its own line
+
+	cfg       Config
+	clock     clock.Source
+	cpus      []*TrcCtl
+	bufWords  uint64
+	numBufs   uint64
+	indexMask uint64 // NumBufs*BufWords - 1
+	sealed    chan Sealed
+	stopped   atomic.Bool
+}
+
+// New creates a Tracer. The returned tracer has an all-zero mask: tracing
+// is compiled in but disabled, the paper's always-ready resting state.
+func New(cfg Config) (*Tracer, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	t := &Tracer{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		bufWords:  uint64(cfg.BufWords),
+		numBufs:   uint64(cfg.NumBufs),
+		indexMask: uint64(cfg.BufWords*cfg.NumBufs) - 1,
+	}
+	t.cpus = make([]*TrcCtl, cfg.CPUs)
+	for i := range t.cpus {
+		t.cpus[i] = &TrcCtl{
+			buf:   make([]uint64, cfg.BufWords*cfg.NumBufs),
+			slots: make([]slot, cfg.NumBufs),
+			cpu:   i,
+			t:     t,
+		}
+	}
+	// Seal channel sized so a sealing writer never blocks: at most NumBufs
+	// outstanding seals per CPU plus one flush partial per CPU.
+	t.sealed = make(chan Sealed, (cfg.NumBufs+1)*cfg.CPUs)
+	return t, nil
+}
+
+// MustNew is New for tests and examples; it panics on config errors.
+func MustNew(cfg Config) *Tracer {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the (validated, defaulted) configuration.
+func (t *Tracer) Config() Config { return t.cfg }
+
+// Clock returns the tracer's timestamp source.
+func (t *Tracer) Clock() clock.Source { return t.clock }
+
+// NumCPUs returns the number of processor slots.
+func (t *Tracer) NumCPUs() int { return len(t.cpus) }
+
+// BufWords returns the buffer (alignment boundary) size in words.
+func (t *Tracer) BufWords() int { return int(t.bufWords) }
+
+// --- Trace mask -----------------------------------------------------------
+//
+// "By limiting the number of major classes to 64, a single comparison of a
+// major class bit against a trace mask variable can determine whether an
+// event should be logged." The mask is the only state examined on the
+// disabled path, so disabled trace points cost a load, an AND, and a
+// branch.
+
+// Enabled reports whether events of the major class are currently logged.
+func (t *Tracer) Enabled(m event.Major) bool {
+	return t.mask.Load()&m.Bit() != 0
+}
+
+// Mask returns the current 64-bit trace mask.
+func (t *Tracer) Mask() uint64 { return t.mask.Load() }
+
+// SetMask replaces the trace mask.
+func (t *Tracer) SetMask(m uint64) { t.mask.Store(m) }
+
+// Enable turns on logging for the given major classes.
+func (t *Tracer) Enable(majors ...event.Major) {
+	var bitsToSet uint64
+	for _, m := range majors {
+		bitsToSet |= m.Bit()
+	}
+	for {
+		old := t.mask.Load()
+		if t.mask.CompareAndSwap(old, old|bitsToSet) {
+			return
+		}
+	}
+}
+
+// Disable turns off logging for the given major classes.
+func (t *Tracer) Disable(majors ...event.Major) {
+	var bitsToClear uint64
+	for _, m := range majors {
+		bitsToClear |= m.Bit()
+	}
+	for {
+		old := t.mask.Load()
+		if t.mask.CompareAndSwap(old, old&^bitsToClear) {
+			return
+		}
+	}
+}
+
+// EnableAll enables every major class.
+func (t *Tracer) EnableAll() { t.mask.Store(^uint64(0)) }
+
+// DisableAll disables all tracing; trace points reduce to the mask check.
+func (t *Tracer) DisableAll() { t.mask.Store(0) }
+
+// --- CPU handles -----------------------------------------------------------
+
+// CPU is a logging handle bound to one processor slot. Handles are
+// obtained once and reused; logging through a handle touches only that
+// CPU's control structures. The handle corresponds to the user-mapped
+// per-processor control structure of the paper: applications and kernel
+// code log through it directly, with no system call.
+type CPU struct {
+	ctl *TrcCtl
+}
+
+// CPU returns the logging handle for processor slot i.
+func (t *Tracer) CPU(i int) CPU { return CPU{ctl: t.cpus[i]} }
+
+// Tracer returns the owning tracer.
+func (c CPU) Tracer() *Tracer { return c.ctl.t }
+
+// ID returns the processor slot number.
+func (c CPU) ID() int { return c.ctl.cpu }
+
+// Enabled mirrors Tracer.Enabled for use on hot paths that already hold a
+// handle.
+func (c CPU) Enabled(m event.Major) bool { return c.ctl.t.Enabled(m) }

@@ -1,0 +1,113 @@
+package event
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render formats a decoded payload according to the description's display
+// string. Unknown or out-of-range token references render as "<?N>" rather
+// than failing, since a listing tool must keep going on imperfect data.
+func (d *Desc) Render(vals []Value) string {
+	var b strings.Builder
+	f := d.Format
+	for i := 0; i < len(f); {
+		c := f[i]
+		if c != '%' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		// "%%" is a literal percent.
+		if i+1 < len(f) && f[i+1] == '%' {
+			b.WriteByte('%')
+			i += 2
+			continue
+		}
+		// Expect %N[fmt].
+		j := i + 1
+		for j < len(f) && f[j] >= '0' && f[j] <= '9' {
+			j++
+		}
+		if j == i+1 || j >= len(f) || f[j] != '[' {
+			// Not a token reference; copy the '%' through.
+			b.WriteByte('%')
+			i++
+			continue
+		}
+		n, _ := strconv.Atoi(f[i+1 : j])
+		end := strings.IndexByte(f[j:], ']')
+		if end < 0 {
+			b.WriteString(f[i:])
+			break
+		}
+		spec := f[j+1 : j+end]
+		i = j + end + 1
+		if n < 0 || n >= len(vals) {
+			fmt.Fprintf(&b, "<?%d>", n)
+			continue
+		}
+		b.WriteString(formatValue(spec, vals[n]))
+	}
+	return b.String()
+}
+
+// formatValue applies a C-style printf spec to a single value. The specs
+// seen in K42 sources are %llx, %lld, %llu, %lx, %ld, %x, %d, %u, %s, %c
+// plus width/zero-pad modifiers; they are translated to Go verbs.
+func formatValue(spec string, v Value) string {
+	if spec == "" {
+		spec = "%lld"
+	}
+	if !strings.HasPrefix(spec, "%") {
+		return spec // literal; nothing to substitute
+	}
+	body := spec[1:]
+	// Split off flag/width prefix (digits, '-', '0', '#', '+').
+	k := 0
+	for k < len(body) && (body[k] == '-' || body[k] == '0' || body[k] == '#' ||
+		body[k] == '+' || (body[k] >= '0' && body[k] <= '9') || body[k] == '.') {
+		k++
+	}
+	prefix, verb := body[:k], body[k:]
+	// Strip C length modifiers.
+	verb = strings.TrimLeft(verb, "lhzjt")
+	if verb == "" {
+		verb = "d"
+	}
+	if v.IsStr {
+		return fmt.Sprintf("%"+prefix+"s", v.Str)
+	}
+	switch verb[0] {
+	case 'x', 'X', 'o', 'b':
+		return fmt.Sprintf("%"+prefix+string(verb[0]), v.Int)
+	case 'd', 'i', 'u':
+		return fmt.Sprintf("%"+prefix+"d", v.Int)
+	case 'c':
+		return fmt.Sprintf("%c", rune(v.Int))
+	case 's':
+		return fmt.Sprintf("%"+prefix+"d", v.Int) // int logged where str expected
+	case 'p':
+		return fmt.Sprintf("0x%x", v.Int)
+	default:
+		return fmt.Sprintf("%"+prefix+"d", v.Int)
+	}
+}
+
+// Describe renders a full one-line description of a decoded event using the
+// registry: the event's symbolic name and its formatted payload. Events
+// with no registered description render generically, as K42's tools do for
+// unknown or garbled events.
+func Describe(r *Registry, e *Event) (name, text string) {
+	d := r.Lookup(e.Major(), e.Minor())
+	if d == nil {
+		return fmt.Sprintf("TRC_%v_%d", e.Major(), e.Minor()),
+			fmt.Sprintf("unregistered event, %d data words % x", len(e.Data), e.Data)
+	}
+	vals, err := Unpack(d.Tokens, e.Data)
+	if err != nil {
+		return d.Name, fmt.Sprintf("undecodable payload (%v), raw % x", err, e.Data)
+	}
+	return d.Name, d.Render(vals)
+}

@@ -1,0 +1,178 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	d, err := r.Register(MajorMem, 4, "TRACE_MEM_FCMCOM_ATCH_REG", "64 64",
+		"Region %0[%llx] attach to FCM %1[%llx]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lookup(MajorMem, 4); got != d {
+		t.Error("Lookup did not return registered desc")
+	}
+	if got := r.LookupName("TRACE_MEM_FCMCOM_ATCH_REG"); got != d {
+		t.Error("LookupName did not return registered desc")
+	}
+	if got := r.Lookup(MajorMem, 5); got != nil {
+		t.Error("Lookup of unregistered minor should be nil")
+	}
+	if got := r.Lookup(MajorIO, 4); got != nil {
+		t.Error("Lookup of unregistered major should be nil")
+	}
+}
+
+func TestRegistryDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(MajorMem, 1, "A", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(MajorMem, 1, "B", "", ""); err == nil {
+		t.Error("duplicate (major,minor) should fail")
+	}
+	if _, err := r.Register(MajorMem, 2, "A", "", ""); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := r.Register(Major(200), 0, "C", "", ""); err == nil {
+		t.Error("out-of-range major should fail")
+	}
+	if _, err := r.Register(MajorMem, 3, "D", "banana", ""); err == nil {
+		t.Error("bad token string should fail")
+	}
+}
+
+func TestRegistryDescsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(MajorIO, 2, "E1", "", "")
+	r.MustRegister(MajorMem, 9, "E2", "", "")
+	r.MustRegister(MajorMem, 1, "E3", "", "")
+	ds := r.Descs()
+	if len(ds) != 3 {
+		t.Fatalf("got %d descs", len(ds))
+	}
+	if ds[0].Name != "E3" || ds[1].Name != "E2" || ds[2].Name != "E1" {
+		t.Errorf("order wrong: %s %s %s", ds[0].Name, ds[1].Name, ds[2].Name)
+	}
+}
+
+func TestDefaultRegistryHasControlEvents(t *testing.T) {
+	for _, minor := range []uint16{CtrlFiller, CtrlClockAnchor, CtrlBufferInfo, CtrlTimeSync} {
+		if Default.Lookup(MajorControl, minor) == nil {
+			t.Errorf("control minor %d not registered in Default", minor)
+		}
+	}
+}
+
+func TestRenderPaperExample(t *testing.T) {
+	// The exact example from the paper's self-describing string section.
+	r := NewRegistry()
+	d := r.MustRegister(MajorMem, 4, "TRACE_MEM_FCMCOM_ATCH_REG", "64 64",
+		"Region %0[%llx] attach to FCM %1[%llx]")
+	vals := []Value{{Int: 0x800000001022cc98}, {Int: 0xe100000000003f30}}
+	got := d.Render(vals)
+	want := "Region 800000001022cc98 attach to FCM e100000000003f30"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestRenderOutOfOrderAndRepeats(t *testing.T) {
+	r := NewRegistry()
+	d := r.MustRegister(MajorTest, 1, "T_ORDER", "32 32",
+		"second %1[%d] first %0[%d] second again %1[%x]")
+	got := d.Render([]Value{{Int: 10}, {Int: 255}})
+	want := "second 255 first 10 second again ff"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestRenderString(t *testing.T) {
+	r := NewRegistry()
+	d := r.MustRegister(MajorUser, 7, "T_STR", "64 str",
+		"process %0[%lld] name %1[%s]")
+	got := d.Render([]Value{{Int: 6}, {Str: "/shellServer", IsStr: true}})
+	if got != "process 6 name /shellServer" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	d := r.MustRegister(MajorTest, 2, "T_EDGE", "64", "%% literal %0[%08x] end %9[%d] trailing")
+	got := d.Render([]Value{{Int: 0xab}})
+	if !strings.Contains(got, "% literal 000000ab") {
+		t.Errorf("literal/zero-pad rendering wrong: %q", got)
+	}
+	if !strings.Contains(got, "<?9>") {
+		t.Errorf("out-of-range reference should render <?9>: %q", got)
+	}
+	// A bare % that is not a token reference passes through.
+	d2 := r.MustRegister(MajorTest, 3, "T_PCT", "", "100% done")
+	if got := d2.Render(nil); got != "100% done" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDescribeUnregistered(t *testing.T) {
+	e := &Event{Header: MakeHeader(1, 2, MajorTest, 42), Data: []uint64{0xbeef}}
+	name, text := Describe(NewRegistry(), e)
+	if name != "TRC_TEST_42" {
+		t.Errorf("name %q", name)
+	}
+	if !strings.Contains(text, "unregistered") {
+		t.Errorf("text %q", text)
+	}
+}
+
+func TestDescribeRegistered(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(MajorSched, 5, "TRACE_SCHED_SWITCH", "64 64",
+		"switch from %0[%lld] to %1[%lld]")
+	e := &Event{Header: MakeHeader(1, 3, MajorSched, 5), Data: []uint64{3, 9}}
+	name, text := Describe(r, e)
+	if name != "TRACE_SCHED_SWITCH" {
+		t.Errorf("name %q", name)
+	}
+	if text != "switch from 3 to 9" {
+		t.Errorf("text %q", text)
+	}
+}
+
+func TestDescribeUndecodable(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(MajorSched, 5, "TRACE_SCHED_SWITCH", "64 64", "from %0[%d] to %1[%d]")
+	e := &Event{Header: MakeHeader(1, 2, MajorSched, 5), Data: []uint64{3}} // one word short
+	_, text := Describe(r, e)
+	if !strings.Contains(text, "undecodable") {
+		t.Errorf("text %q", text)
+	}
+}
+
+func TestFormatValueVerbs(t *testing.T) {
+	cases := []struct {
+		spec string
+		v    Value
+		want string
+	}{
+		{"%llx", Value{Int: 255}, "ff"},
+		{"%lld", Value{Int: 255}, "255"},
+		{"%llu", Value{Int: 255}, "255"},
+		{"%d", Value{Int: 7}, "7"},
+		{"%x", Value{Int: 16}, "10"},
+		{"%s", Value{Str: "hi", IsStr: true}, "hi"},
+		{"%c", Value{Int: 'A'}, "A"},
+		{"%p", Value{Int: 0x10}, "0x10"},
+		{"", Value{Int: 3}, "3"},
+		{"%08x", Value{Int: 0xab}, "000000ab"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.spec, c.v); got != c.want {
+			t.Errorf("formatValue(%q, %+v) = %q, want %q", c.spec, c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package ksim
+
+import "k42trace/internal/event"
+
+// Allocator models a K42-lineage memory allocator: a global region
+// manager (GMalloc) and, in the Tuned configuration, per-processor pools
+// (PMalloc) that satisfy most requests locally and refill from the global
+// manager in batches. In the Coarse configuration every allocation takes
+// the global lock — which is exactly the AllocRegionManager/PMalloc/
+// GMalloc contention at the top of the paper's Figure 7.
+type Allocator struct {
+	name   string
+	global *SimLock
+	pools  []int // per-CPU remaining allocations before refill (Tuned)
+	tuned  bool
+
+	chainAlloc  ChainID
+	chainFree   ChainID
+	chainRefill ChainID
+	symRegion   SymID
+	symGMalloc  SymID
+}
+
+// newAllocator builds an allocator; domain names the hosting domain for
+// lock naming ("baseServers" or "kernel").
+func (k *Kernel) newAllocator(domain string, chainAlloc, chainFree, chainRefill ChainID,
+	symRegion, symGMalloc SymID) *Allocator {
+	a := &Allocator{
+		name:        domain,
+		global:      k.newLock(domain + ".GMalloc"),
+		tuned:       k.cfg.Tuned,
+		chainAlloc:  chainAlloc,
+		chainFree:   chainFree,
+		chainRefill: chainRefill,
+		symRegion:   symRegion,
+		symGMalloc:  symGMalloc,
+	}
+	if a.tuned {
+		a.pools = make([]int, k.cfg.CPUs)
+	}
+	return a
+}
+
+// alloc performs one allocation on cpu c in domain-pid context (the caller
+// establishes the PPC domain). In the Coarse configuration the allocator's
+// bookkeeping runs under the global lock (the long hold times the lock
+// tool exposed); Tuned does the work against a per-CPU pool.
+func (k *Kernel) alloc(c *SimCPU, a *Allocator, size uint64) {
+	k.log(c, event.MajorAlloc, EvAllocMalloc, c.pid(), size)
+	c.chargeMisses(missesPerAlloc)
+	if !a.tuned {
+		k.lockedSection(c, a.global, k.costs.AllocWork+k.costs.AllocCS,
+			a.chainAlloc, a.symGMalloc)
+		return
+	}
+	k.advance(c, k.costs.AllocWork, a.symRegion)
+	if a.pools[c.id] == 0 {
+		k.log(c, event.MajorAlloc, EvAllocRefill, uint64(c.id))
+		// A refill grabs a large region under the global lock — a longer
+		// critical section, but amortized over PoolRefillEvery requests.
+		k.lockedSection(c, a.global, 4*k.costs.AllocCS, a.chainRefill, a.symGMalloc)
+		a.pools[c.id] = k.costs.PoolRefillEvery
+	}
+	a.pools[c.id]--
+	// Per-CPU pool operation: no shared lock, just the local bookkeeping.
+	k.advance(c, k.costs.AllocCS/4, a.symRegion)
+}
+
+// free releases one allocation.
+func (k *Kernel) free(c *SimCPU, a *Allocator) {
+	k.log(c, event.MajorAlloc, EvAllocFree, c.pid())
+	if !a.tuned {
+		k.lockedSection(c, a.global, k.costs.AllocWork/2+k.costs.AllocCS,
+			a.chainFree, a.symGMalloc)
+		return
+	}
+	k.advance(c, k.costs.AllocWork/2, a.symRegion)
+	// Tuned: frees go back to the local pool without the global lock.
+	k.advance(c, k.costs.AllocCS/4, a.symRegion)
+}

@@ -1,0 +1,212 @@
+package ksim
+
+import (
+	"k42trace/internal/event"
+)
+
+// SimCPU is one simulated processor: a virtual clock, a run queue, and the
+// process (if any) currently executing on it. Each SimCPU logs to its own
+// slot of the tracer, so simulated per-processor streams map one-to-one
+// onto the tracer's per-processor buffers.
+type SimCPU struct {
+	id    int
+	now   uint64
+	queue []*Thread // runnable, FIFO
+	cur   *Thread
+
+	busy       uint64
+	idle       uint64
+	idleSince  uint64
+	isIdle     bool
+	everRan    bool
+	lastPid    uint64 // previous running pid, for SCHED_SWITCH events
+	quantumEnd uint64
+	nextSample uint64
+	// pids is the domain stack: the running process's pid, with server
+	// pids pushed during PPC calls so events are attributed to the domain
+	// actually executing (pid 0 kernel, 1 baseServers, >=2 user).
+	pids []uint64
+	// hwc is the simulated hardware-counter state (see hwc.go).
+	hwc hwCounters
+	// nextIRQ is the next timer-interrupt deadline (when enabled).
+	nextIRQ uint64
+	inIRQ   bool
+}
+
+// pid returns the current execution domain's pid.
+func (c *SimCPU) pid() uint64 {
+	if n := len(c.pids); n > 0 {
+		return c.pids[n-1]
+	}
+	if c.cur != nil {
+		return c.cur.pid()
+	}
+	return PidKernel
+}
+
+// simClock adapts the per-CPU virtual clocks to clock.Source so the real
+// tracer timestamps events in simulation time. Timestamps are trivially
+// monotone per CPU because each SimCPU's now only advances.
+type simClock struct{ k *Kernel }
+
+// Now returns cpu's current virtual time.
+func (s simClock) Now(cpu int) uint64 {
+	if cpu < len(s.k.cpus) {
+		return s.k.cpus[cpu].now
+	}
+	return 0
+}
+
+// Hz returns 1e9: virtual ticks are nanoseconds.
+func (s simClock) Hz() uint64 { return 1e9 }
+
+// log emits a trace event from cpu c, charging the modeled logging cost to
+// virtual time: the 4-instruction mask check when the major is disabled,
+// or the per-event cost (base + per-word) when enabled. A nil tracer
+// models tracing compiled out: no cost at all, the paper's "zero impact"
+// option.
+func (k *Kernel) log(c *SimCPU, major event.Major, minor uint16, data ...uint64) {
+	if k.tracer == nil {
+		return
+	}
+	if !k.tracer.Enabled(major) {
+		c.now += k.costs.MaskCheck
+		return
+	}
+	k.chargeEvent(c, uint64(len(data)))
+	k.tracer.CPU(c.id).LogWords(major, minor, data)
+	k.traceEvents++
+}
+
+// chargeEvent advances virtual time by the cost of logging one event. The
+// lockless per-CPU design pays only the local cost; the LockedTrace
+// ablation additionally serializes all CPUs through the global trace-
+// buffer lock, spinning (in virtual time) while another CPU logs.
+func (k *Kernel) chargeEvent(c *SimCPU, words uint64) {
+	cost := k.costs.EventBase + k.costs.EventWord*words
+	if k.traceLock == nil {
+		c.now += cost
+		return
+	}
+	l := k.traceLock
+	l.Acquisitions++
+	if l.nextFree > c.now {
+		wait := l.nextFree - c.now
+		l.Contended++
+		l.Spins += wait / k.costs.SpinCycle
+		l.TotalWaitNs += wait
+		if wait > l.MaxWaitNs {
+			l.MaxWaitNs = wait
+		}
+		// Spin without emitting lock events (logging the trace lock's own
+		// contention would recurse); the time still burns the CPU.
+		c.now += wait
+		c.busy += wait
+	}
+	c.now += cost
+	l.nextFree = c.now
+}
+
+// logStr emits an event whose payload mixes words and a trailing string.
+func (k *Kernel) logStr(c *SimCPU, major event.Major, minor uint16, s string, data ...uint64) {
+	if k.tracer == nil {
+		return
+	}
+	if !k.tracer.Enabled(major) {
+		c.now += k.costs.MaskCheck
+		return
+	}
+	words := make([]uint64, 0, len(data)+len(s)/8+1)
+	words = append(words, data...)
+	words = append(words, packStr(s)...)
+	k.chargeEvent(c, uint64(len(words)))
+	k.tracer.CPU(c.id).LogWords(major, minor, words)
+	k.traceEvents++
+}
+
+// packStr encodes a NUL-terminated word-padded string (matching the "str"
+// token decoding in internal/event).
+func packStr(s string) []uint64 {
+	b := append([]byte(s), 0)
+	for len(b)%8 != 0 {
+		b = append(b, 0)
+	}
+	words := make([]uint64, len(b)/8)
+	for i := range words {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(b[i*8+j]) << uint(8*j)
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// advance moves cpu c forward by d ns of busy work attributed to symbol
+// sym, emitting PC samples at every sample-period crossing — the
+// event-driven statistical profiler of §4.5.
+func (k *Kernel) advance(c *SimCPU, d uint64, sym SymID) {
+	// Timer interrupts land wherever the clock crosses their deadline —
+	// in the middle of a lock's critical section if that is where the CPU
+	// happens to be, which stretches hold times (§2's anecdote).
+	if p := k.cfg.TimerIRQPeriod; p > 0 && !c.inIRQ {
+		if c.nextIRQ == 0 {
+			c.nextIRQ = p
+		}
+		for d > 0 {
+			if c.nextIRQ <= c.now {
+				c.nextIRQ = c.now + p
+			}
+			step := d
+			if gap := c.nextIRQ - c.now; gap < step {
+				step = gap
+			}
+			c.now += step
+			c.busy += step
+			c.hwc.accrueWork(step)
+			d -= step
+			if c.now == c.nextIRQ {
+				c.nextIRQ += p
+				k.irq(c)
+			}
+		}
+	} else {
+		c.now += d
+		c.busy += d
+		c.hwc.accrueWork(d)
+	}
+	if k.cfg.SamplePeriod > 0 {
+		for c.nextSample <= c.now {
+			k.log(c, event.MajorSample, EvSamplePC, uint64(sym), c.pid())
+			c.nextSample += k.cfg.SamplePeriod
+		}
+	}
+	k.hwcSample(c, sym)
+}
+
+// advanceQuiet advances time with interrupt delivery suppressed. Lock
+// spin waits use it: a waiter acquires the lock the moment the holder
+// releases it (on real hardware an interrupted spinner just loses its
+// turn to another waiter; modeling the interruption as extending the
+// FIFO hand-off would compound waits geometrically under load). Missed
+// deadlines collapse into a single interrupt at the next eligible
+// advance, as real masked-interrupt windows do.
+func (k *Kernel) advanceQuiet(c *SimCPU, d uint64, sym SymID) {
+	was := c.inIRQ
+	c.inIRQ = true
+	k.advance(c, d, sym)
+	c.inIRQ = was
+}
+
+// irq handles one timer interrupt on c: kernel-domain work bracketed by
+// enter/exit events, charged without re-entering the interrupt logic.
+func (k *Kernel) irq(c *SimCPU) {
+	c.inIRQ = true
+	k.log(c, event.MajorException, EvIRQEnter, 0)
+	c.pids = append(c.pids, PidKernel)
+	c.chargeMisses(missesPerSwitch / 4)
+	k.advance(c, k.cfg.IRQCost, k.sym.timerIRQ)
+	c.pids = c.pids[:len(c.pids)-1]
+	k.log(c, event.MajorException, EvIRQExit, 0)
+	c.inIRQ = false
+}

@@ -1,0 +1,71 @@
+package ksim
+
+import "k42trace/internal/event"
+
+// Blocking disk I/O. When the cost model enables a disk (DiskLatency > 0),
+// every DiskMissEvery-th data access to a file misses the buffer cache:
+// the accessing thread logs an IO_BLOCK event and sleeps, its CPU runs
+// other work (or idles), and the I/O completion — modeled as a timed event,
+// like the device interrupt it is — wakes the thread DiskLatency later on
+// whichever run queue the scheduler picks. I/O interrupts are among the
+// paper's "well known events that affect behavior" (§5: context switch,
+// I/O interrupt, IPC).
+
+// wouldMiss reports (and records) whether this access to f misses the
+// buffer cache.
+func (k *Kernel) wouldMiss(f *File) bool {
+	if k.costs.DiskLatency == 0 {
+		return false
+	}
+	every := k.costs.DiskMissEvery
+	if every <= 0 {
+		every = 8
+	}
+	f.accesses++
+	return (f.accesses-1)%uint64(every) == 0 // the first access always misses
+}
+
+// blockOnDisk puts th to sleep on a disk read of f and schedules its
+// wakeup. Called from step, at op granularity (the op re-executes as a
+// cache hit after the wake).
+func (k *Kernel) blockOnDisk(c *SimCPU, th *Thread, f *File) {
+	k.log(c, event.MajorIO, EvIOBlock, f.fid, th.tid)
+	k.blockedIO++
+	wakeAt := c.now + k.costs.DiskLatency
+	k.At(wakeAt, func(k *Kernel) {
+		k.blockedIO--
+		k.wake(th, f, wakeAt)
+	})
+}
+
+// wake requeues a thread after I/O completion at time t, preferring an
+// idle CPU (resumed to t, where the completion interrupt runs) and
+// otherwise the least-loaded one (which notices the completion when it
+// next runs).
+func (k *Kernel) wake(th *Thread, f *File, t uint64) {
+	var target *SimCPU
+	for _, o := range k.cpus {
+		if o.isIdle && (target == nil || o.now < target.now) {
+			target = o
+		}
+	}
+	if target != nil {
+		k.resume(target, t)
+	} else {
+		target = k.cpus[0]
+		for _, o := range k.cpus {
+			if load(o) < load(target) {
+				target = o
+			}
+		}
+	}
+	k.log(target, event.MajorIO, EvIOWake, f.fid, th.tid)
+	k.lockedSection(target, k.runqLock(target.id), k.costs.RunqueueCS,
+		k.chains.runqueue, k.sym.dispatcher)
+	th.readyAt = t
+	if target.now > t {
+		th.readyAt = target.now
+	}
+	k.log(target, event.MajorSched, EvSchedEnqueue, th.pid(), uint64(target.id))
+	target.queue = append(target.queue, th)
+}

@@ -1,0 +1,146 @@
+package ksim
+
+import (
+	"testing"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+func diskCosts(latency uint64, every int) CostModel {
+	c := DefaultCosts()
+	c.DiskLatency = latency
+	c.DiskMissEvery = every
+	return c
+}
+
+// reader builds a script doing n reads of one file with a little compute.
+func reader(name string, n int) *Script {
+	path := "/data/" + name
+	var ops []Op
+	for i := 0; i < n; i++ {
+		ops = append(ops,
+			Op{Kind: OpRead, Path: path, Bytes: 4096},
+			Op{Kind: OpCompute, Ns: 2000})
+	}
+	return &Script{Name: name, Ops: ops}
+}
+
+func TestDiskBlocksAndWakes(t *testing.T) {
+	k, tr, err := NewTracedKernel(
+		Config{CPUs: 2, Tuned: true, Costs: diskCosts(150_000, 4)},
+		core.Config{BufWords: 8192, NumBufs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.EnableAll()
+	res, err := k.Run([]*Script{reader("a", 16), reader("b", 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scripts != 2 {
+		t.Fatalf("scripts = %d", res.Scripts)
+	}
+	blocks, wakes, reads := 0, 0, 0
+	for cpu := 0; cpu < 2; cpu++ {
+		evs, info := tr.Dump(cpu)
+		if info.Stats.Garbled() {
+			t.Fatal("garbled")
+		}
+		for _, e := range evs {
+			if e.Major() != event.MajorIO {
+				continue
+			}
+			switch e.Minor() {
+			case EvIOBlock:
+				blocks++
+			case EvIOWake:
+				wakes++
+			case EvIORead:
+				reads++
+			}
+		}
+	}
+	// 16 reads per file, every 4th access missing (1st, 5th, 9th, 13th):
+	// 4 misses per file.
+	if blocks != 8 {
+		t.Errorf("blocks = %d, want 8", blocks)
+	}
+	if wakes != blocks {
+		t.Errorf("wakes = %d, blocks = %d", wakes, blocks)
+	}
+	if reads != 32 {
+		t.Errorf("reads = %d, want 32 (each op completes exactly once)", reads)
+	}
+	// The makespan must include the serialized portion of the disk waits.
+	if res.MakespanNs < 150_000 {
+		t.Errorf("makespan %d too small to contain any disk wait", res.MakespanNs)
+	}
+	if k.blockedIO != 0 {
+		t.Errorf("blockedIO = %d at end", k.blockedIO)
+	}
+}
+
+func TestAllThreadsBlockedOnDiskStillCompletes(t *testing.T) {
+	// One CPU, one thread, every read misses: the machine repeatedly has
+	// nothing runnable and must sleep to the next I/O completion.
+	k, err := NewKernel(Config{CPUs: 1, Tuned: true, Costs: diskCosts(200_000, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run([]*Script{reader("solo", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scripts != 1 {
+		t.Fatalf("script did not complete")
+	}
+	// 5 misses x 200µs dominate the makespan.
+	if res.MakespanNs < 5*200_000 {
+		t.Errorf("makespan %d should include 5 disk waits", res.MakespanNs)
+	}
+	// The CPU idled during the waits.
+	if res.IdleNs[0] < 4*200_000 {
+		t.Errorf("idle %d should cover most of the disk time", res.IdleNs[0])
+	}
+}
+
+func TestDiskOverlapsWithComputeOnOtherThreads(t *testing.T) {
+	// Two threads on one CPU: while one sleeps on disk, the other computes
+	// (with a quantum short enough to interleave them). The makespan stays
+	// far below the serial sum.
+	var computeOps []Op
+	for i := 0; i < 6; i++ {
+		computeOps = append(computeOps, Op{Kind: OpCompute, Ns: 100_000})
+	}
+	computeHeavy := &Script{Name: "cpu", Ops: computeOps}
+	k, err := NewKernel(Config{CPUs: 1, Tuned: true, Quantum: 50_000,
+		Costs: diskCosts(200_000, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run([]*Script{reader("x", 3), computeHeavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial would be ~600k compute + 3*200k disk + work = 1.2M+; overlap
+	// keeps it near the max of the two streams.
+	if res.MakespanNs > 950_000 {
+		t.Errorf("no I/O/compute overlap: makespan %d", res.MakespanNs)
+	}
+}
+
+func TestDiskDisabledByDefault(t *testing.T) {
+	k, err := NewKernel(Config{CPUs: 1, Tuned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run([]*Script{reader("quick", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No disk: everything is sub-millisecond.
+	if res.MakespanNs > 1_000_000 {
+		t.Errorf("disk should be off by default; makespan %d", res.MakespanNs)
+	}
+}

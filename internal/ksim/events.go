@@ -1,0 +1,176 @@
+package ksim
+
+import "k42trace/internal/event"
+
+// Minor IDs of the OS's trace events, grouped by major class. These mirror
+// the kinds of events K42 logged (TRC_EXCEPTION_PGFLT, TRC_USER_RUN_UL_
+// LOADER, TRC_MEM_FCMCOM_ATCH_REG, ...) and are registered with
+// self-describing formats so every tool can render them.
+const (
+	// MajorSched
+	EvSchedSwitch  uint16 = 1 // from-pid, to-pid
+	EvSchedMigrate uint16 = 2 // pid, from-cpu, to-cpu
+	EvSchedIdle    uint16 = 3 // (cpu idle begins)
+	EvSchedResume  uint16 = 4 // idle ns (cpu idle ends)
+	EvSchedEnqueue uint16 = 5 // pid, cpu
+
+	// MajorProc
+	EvProcFork       uint16 = 1 // parent, child
+	EvProcExit       uint16 = 2 // pid
+	EvProcExec       uint16 = 3 // pid, script-name
+	EvProcSpawn      uint16 = 4 // pid, tid
+	EvProcThreadExit uint16 = 5 // pid, tid
+
+	// MajorUser
+	EvUserRunULoader   uint16 = 1 // creator, new pid, name
+	EvUserReturnedMain uint16 = 2 // pid
+
+	// MajorSyscall
+	EvSyscallEnter uint16 = 1 // pid, nr
+	EvSyscallExit  uint16 = 2 // pid, nr
+
+	// MajorException
+	EvPgflt     uint16 = 1 // pid, fault addr
+	EvPgfltDone uint16 = 2 // pid, fault addr
+	EvPPCCall   uint16 = 3 // target pid (commID)
+	EvPPCReturn uint16 = 4 // target pid
+	EvIRQEnter  uint16 = 5 // irq number
+	EvIRQExit   uint16 = 6 // irq number
+
+	// MajorLock
+	EvLockStartWait uint16 = 1 // lock id, chain id
+	EvLockAcquired  uint16 = 2 // lock id, wait ns, spins, chain id
+	EvLockRelease   uint16 = 3 // lock id, hold ns
+	EvLockAcquire   uint16 = 4 // lock id (uncontended fast path)
+
+	// MajorIO
+	EvIOOpen   uint16 = 1 // pid, file id
+	EvIORead   uint16 = 2 // file id, bytes
+	EvIOWrite  uint16 = 3 // file id, bytes
+	EvIOClose  uint16 = 4 // file id
+	EvIOLookup uint16 = 5 // file id, components
+	EvIOName   uint16 = 6 // file id, path (logged once per file)
+	EvIOBlock  uint16 = 7 // file id, tid (buffer-cache miss, thread sleeps)
+	EvIOWake   uint16 = 8 // file id, tid (disk completion)
+
+	// MajorAlloc
+	EvAllocMalloc uint16 = 1 // pid, size
+	EvAllocFree   uint16 = 2 // pid
+	EvAllocRefill uint16 = 3 // cpu (per-CPU pool refilled from GMalloc)
+
+	// MajorSample
+	EvSamplePC uint16 = 1 // sym id, pid
+	EvSymDef   uint16 = 2 // sym id, name
+	EvChainDef uint16 = 3 // chain id, frames joined by " < "
+)
+
+// Syscall numbers used by the workload scripts.
+const (
+	SysOpen = iota + 1
+	SysRead
+	SysWrite
+	SysClose
+	SysStat
+	SysBrk
+	SysFork
+	SysExit
+	SysMisc
+)
+
+// SyscallName resolves a syscall number for display.
+func SyscallName(nr uint64) string {
+	names := []string{"?", "open", "read", "write", "close", "stat", "brk",
+		"fork", "exit", "misc"}
+	if nr < uint64(len(names)) {
+		return names[nr]
+	}
+	return "?"
+}
+
+func init() {
+	r := event.Default
+	r.MustRegister(event.MajorSched, EvSchedSwitch, "TRC_SCHED_SWITCH", "64 64 64",
+		"switch from pid %0[%lld] to pid %1[%lld] thread %2[%llx]")
+	r.MustRegister(event.MajorSched, EvSchedMigrate, "TRC_SCHED_MIGRATE", "64 64 64",
+		"pid %0[%lld] migrated cpu %1[%lld] -> cpu %2[%lld]")
+	r.MustRegister(event.MajorSched, EvSchedIdle, "TRC_SCHED_IDLE", "",
+		"cpu idle")
+	r.MustRegister(event.MajorSched, EvSchedResume, "TRC_SCHED_RESUME", "64",
+		"cpu resumes after %0[%lld]ns idle")
+	r.MustRegister(event.MajorSched, EvSchedEnqueue, "TRC_SCHED_ENQUEUE", "64 64",
+		"pid %0[%lld] enqueued on cpu %1[%lld]")
+
+	r.MustRegister(event.MajorProc, EvProcFork, "TRC_PROC_FORK", "64 64",
+		"pid %0[%lld] forked child %1[%lld]")
+	r.MustRegister(event.MajorProc, EvProcExit, "TRC_PROC_EXIT", "64",
+		"pid %0[%lld] exited")
+	r.MustRegister(event.MajorProc, EvProcExec, "TRC_PROC_EXEC", "64 str",
+		"pid %0[%lld] exec %1[%s]")
+	r.MustRegister(event.MajorProc, EvProcSpawn, "TRC_PROC_THREAD_SPAWN", "64 64",
+		"pid %0[%lld] spawned thread %1[%llx]")
+	r.MustRegister(event.MajorProc, EvProcThreadExit, "TRC_PROC_THREAD_EXIT", "64 64",
+		"pid %0[%lld] thread %1[%llx] exited")
+
+	r.MustRegister(event.MajorUser, EvUserRunULoader, "TRC_USER_RUN_UL_LOADER", "64 64 str",
+		"process %0[%lld] created new process with id %1[%lld] name %2[%s]")
+	r.MustRegister(event.MajorUser, EvUserReturnedMain, "TRC_USER_RETURNED_MAIN", "64",
+		"process %0[%lld] returned from main")
+
+	r.MustRegister(event.MajorSyscall, EvSyscallEnter, "TRC_SYSCALL_ENTER", "64 64",
+		"pid %0[%lld] syscall %1[%lld] enter")
+	r.MustRegister(event.MajorSyscall, EvSyscallExit, "TRC_SYSCALL_EXIT", "64 64",
+		"pid %0[%lld] syscall %1[%lld] exit")
+
+	r.MustRegister(event.MajorException, EvPgflt, "TRC_EXCEPTION_PGFLT", "64 64",
+		"PGFLT, kernel thread %0[%llx], faultAddr %1[%llx]")
+	r.MustRegister(event.MajorException, EvPgfltDone, "TRC_EXCEPTION_PGFLT_DONE", "64 64",
+		"PGFLT DONE, kernel thread %0[%llx], faultAddr %1[%llx]")
+	r.MustRegister(event.MajorException, EvPPCCall, "TRC_EXCEPTION_PPC_CALL", "64",
+		"PPC CALL, commID %0[%llx]")
+	r.MustRegister(event.MajorException, EvPPCReturn, "TRC_EXCEPTION_PPC_RETURN", "64",
+		"PPC RETURN, commID %0[%llx]")
+	r.MustRegister(event.MajorException, EvIRQEnter, "TRC_EXCEPTION_IRQ_ENTER", "64",
+		"IRQ %0[%lld] enter")
+	r.MustRegister(event.MajorException, EvIRQExit, "TRC_EXCEPTION_IRQ_EXIT", "64",
+		"IRQ %0[%lld] exit")
+
+	r.MustRegister(event.MajorLock, EvLockStartWait, "TRC_LOCK_STARTWAIT", "64 64",
+		"lock %0[%llx] wait begins, chain %1[%lld]")
+	r.MustRegister(event.MajorLock, EvLockAcquired, "TRC_LOCK_ACQUIRED", "64 64 64 64",
+		"lock %0[%llx] acquired after %1[%lld]ns, %2[%lld] spins, chain %3[%lld]")
+	r.MustRegister(event.MajorLock, EvLockRelease, "TRC_LOCK_RELEASE", "64 64",
+		"lock %0[%llx] released after %1[%lld]ns held")
+	r.MustRegister(event.MajorLock, EvLockAcquire, "TRC_LOCK_ACQUIRE", "64",
+		"lock %0[%llx] acquired uncontended")
+
+	r.MustRegister(event.MajorIO, EvIOOpen, "TRC_IO_OPEN", "64 64",
+		"pid %0[%lld] opened file %1[%lld]")
+	r.MustRegister(event.MajorIO, EvIORead, "TRC_IO_READ", "64 64",
+		"read file %0[%lld], %1[%lld] bytes")
+	r.MustRegister(event.MajorIO, EvIOWrite, "TRC_IO_WRITE", "64 64",
+		"write file %0[%lld], %1[%lld] bytes")
+	r.MustRegister(event.MajorIO, EvIOClose, "TRC_IO_CLOSE", "64",
+		"close file %0[%lld]")
+	r.MustRegister(event.MajorIO, EvIOLookup, "TRC_IO_LOOKUP", "64 64",
+		"lookup file %0[%lld], %1[%lld] components")
+	r.MustRegister(event.MajorIO, EvIOName, "TRC_IO_NAME", "64 str",
+		"file %0[%lld] is %1[%s]")
+	r.MustRegister(event.MajorIO, EvIOBlock, "TRC_IO_BLOCK", "64 64",
+		"file %0[%lld]: thread %1[%llx] blocks on disk")
+	r.MustRegister(event.MajorIO, EvIOWake, "TRC_IO_WAKE", "64 64",
+		"file %0[%lld]: thread %1[%llx] woken by I/O completion")
+
+	r.MustRegister(event.MajorAlloc, EvAllocMalloc, "TRC_ALLOC_MALLOC", "64 64",
+		"pid %0[%lld] malloc %1[%lld] bytes")
+	r.MustRegister(event.MajorAlloc, EvAllocFree, "TRC_ALLOC_FREE", "64",
+		"pid %0[%lld] free")
+	r.MustRegister(event.MajorAlloc, EvAllocRefill, "TRC_ALLOC_REFILL", "64",
+		"cpu %0[%lld] pool refill from GMalloc")
+
+	r.MustRegister(event.MajorSample, EvSamplePC, "TRC_SAMPLE_PC", "64 64",
+		"sample sym %0[%lld] pid %1[%lld]")
+	r.MustRegister(event.MajorSample, EvSymDef, "TRC_SAMPLE_SYMDEF", "64 str",
+		"sym %0[%lld] = %1[%s]")
+	r.MustRegister(event.MajorSample, EvChainDef, "TRC_SAMPLE_CHAINDEF", "64 str",
+		"chain %0[%lld] = %1[%s]")
+}

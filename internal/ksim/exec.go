@@ -1,0 +1,142 @@
+package ksim
+
+import "k42trace/internal/event"
+
+// syscall brackets body with syscall enter/exit events and user/kernel
+// crossing costs; inside, the execution domain is the kernel (pid 0).
+func (k *Kernel) syscall(c *SimCPU, nr uint64, body func()) {
+	k.log(c, event.MajorSyscall, EvSyscallEnter, c.pid(), nr)
+	k.fireProbes(c, ProbeSyscallEnter, nr)
+	c.pids = append(c.pids, PidKernel)
+	k.advance(c, k.costs.SyscallEntry, k.sym.syscallEntry)
+	body()
+	k.advance(c, k.costs.SyscallEntry, k.sym.syscallEntry)
+	c.pids = c.pids[:len(c.pids)-1]
+	k.log(c, event.MajorSyscall, EvSyscallExit, c.pid(), nr)
+}
+
+// ppc brackets body with a protected procedure call into a server domain:
+// as in K42, the caller's thread crosses into the server's address space
+// on the same processor, so server work (and the locks it takes) is
+// attributed to the server pid.
+func (k *Kernel) ppc(c *SimCPU, target uint64, body func()) {
+	k.log(c, event.MajorException, EvPPCCall, target)
+	k.fireProbes(c, ProbePPCCall, target)
+	c.pids = append(c.pids, target)
+	k.advance(c, k.costs.PPCCall, k.sym.dispatcherIPC)
+	body()
+	k.advance(c, k.costs.PPCCall, k.sym.dispatcherIPC)
+	c.pids = c.pids[:len(c.pids)-1]
+	k.log(c, event.MajorException, EvPPCReturn, target)
+}
+
+// pageFault takes one fault on a fresh page of the thread's address
+// space: an exception into the kernel, mapping work, and a page allocation
+// under the kernel page allocator (whose lock shows up as the
+// PageAllocatorDefault rows of Figure 7). The event carries the faulting
+// thread's id, as K42's did ("PGFLT, kernel thread ...").
+func (k *Kernel) pageFault(c *SimCPU, p *Thread) {
+	p.proc.faultVA += 0x1000
+	va := p.proc.faultVA
+	k.log(c, event.MajorException, EvPgflt, p.tid, va)
+	k.fireProbes(c, ProbePgflt, va)
+	c.pids = append(c.pids, PidKernel)
+	c.chargeMisses(missesPerPageFault)
+	k.advance(c, k.costs.PageFault, k.sym.pgfltHandler)
+	if !k.cfg.Tuned {
+		// Coarse: the global page-allocator lock is held across the page
+		// allocation bookkeeping.
+		k.lockedSection(c, k.kernAlloc.global, k.costs.AllocWork+k.costs.PageAllocCS,
+			k.chains.pageAlloc, k.sym.pageAllocCS)
+	} else {
+		// Tuned: per-CPU page caches; the global lock is taken only on
+		// batch refills, modeled through the allocator pools.
+		k.alloc(c, k.kernAlloc, 4096)
+	}
+	c.pids = c.pids[:len(c.pids)-1]
+	k.log(c, event.MajorException, EvPgfltDone, p.tid, va)
+}
+
+// execOp executes a single operation of thread p on CPU c.
+func (k *Kernel) execOp(c *SimCPU, p *Thread, op *Op) {
+	switch op.Kind {
+	case OpCompute:
+		k.advance(c, op.Ns, p.sym)
+	case OpSyscall:
+		k.syscall(c, uint64(op.Nr), func() {
+			k.advance(c, op.Ns, k.sym.syscallWork)
+		})
+	case OpOpen:
+		f := k.file(op.Path)
+		k.syscall(c, SysOpen, func() {
+			k.ppc(c, PidBaseServers, func() { k.fsOpen(c, f) })
+		})
+	case OpRead:
+		f := k.file(op.Path)
+		k.syscall(c, SysRead, func() {
+			k.ppc(c, PidBaseServers, func() { k.fsData(c, f, op.Bytes, false) })
+		})
+	case OpWrite:
+		f := k.file(op.Path)
+		k.syscall(c, SysWrite, func() {
+			k.ppc(c, PidBaseServers, func() { k.fsData(c, f, op.Bytes, true) })
+		})
+	case OpStat:
+		f := k.file(op.Path)
+		k.syscall(c, SysStat, func() {
+			k.ppc(c, PidBaseServers, func() { k.lookup(c, f) })
+		})
+	case OpClose:
+		f := k.file(op.Path)
+		k.syscall(c, SysClose, func() {
+			k.ppc(c, PidBaseServers, func() {
+				k.advance(c, k.costs.DentryLookup/2, k.fs.symLookup)
+				k.log(c, event.MajorIO, EvIOClose, f.fid)
+			})
+		})
+	case OpAlloc:
+		k.ppc(c, PidBaseServers, func() { k.alloc(c, k.srvAlloc, op.Bytes) })
+		p.proc.allocs++
+	case OpFree:
+		if p.proc.allocs > 0 {
+			p.proc.allocs--
+			k.ppc(c, PidBaseServers, func() { k.free(c, k.srvAlloc) })
+		}
+	case OpTouch:
+		for i := 0; i < op.Pages; i++ {
+			k.pageFault(c, p)
+		}
+	case OpFork:
+		if op.Child == nil {
+			return
+		}
+		k.syscall(c, SysFork, func() {
+			cost := k.costs.ForkBase
+			if !k.cfg.Tuned {
+				// Coarse: state is copied eagerly at fork; the Tuned kernel
+				// replicates state lazily in the child — the fork fix the
+				// uniprocessor page-fault breakdown pointed at (§4).
+				cost += k.costs.ForkEagerCopy
+			}
+			k.advance(c, cost, k.sym.forkPath)
+			child := k.newProc(c, op.Child, p.pid(), false)
+			k.log(c, event.MajorProc, EvProcFork, p.pid(), child.pid())
+			k.enqueue(c, child, true)
+		})
+	case OpSpawn:
+		if op.Child == nil {
+			return
+		}
+		k.syscall(c, SysMisc, func() {
+			k.advance(c, k.costs.ForkBase/4, k.sym.forkPath)
+			sym := p.sym
+			if op.Child.Name != "" {
+				sym = k.symtab.Sym(op.Child.Name)
+			}
+			th := k.newThread(c, p.proc, op.Child.Ops, sym, false)
+			k.enqueue(c, th, true)
+		})
+	case OpUser:
+		k.log(c, event.MajorUser, op.Minor, p.pid(), op.Payload)
+	}
+}

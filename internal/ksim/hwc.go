@@ -1,0 +1,85 @@
+package ksim
+
+import "k42trace/internal/event"
+
+// Hardware-counter integration (§2 of the paper): "trace events may be
+// used to log information gathered by such counters and later analyzed.
+// By doing so, the trace infrastructure may be used to study memory
+// bottlenecks, memory hot-spots, and other I/O interactions by logging
+// hardware counter events, e.g., cache-line misses. Integrating the
+// hardware counter mechanism and the tracing infrastructure allows the
+// counters to be sampled and understood at various stages throughout the
+// program's or operating system's execution."
+//
+// The simulated machine accrues per-CPU counters — cycles, instructions,
+// local cache misses, and remote (coherence) misses — as the OS executes:
+// data copies miss per cache line, allocator metadata walks miss on
+// pointer chases, context switches recool the cache, and every trip
+// around a contended lock's spin loop re-fetches the remote line. When
+// enabled, the counters are sampled periodically into TRC_MEM_HWC events
+// carrying the deltas and the symbol executing at sample time, so
+// post-processing can attribute memory behavior statistically, exactly
+// like the PC profile.
+
+// EvMemHWC is the hardware-counter sample event (MajorMem).
+const EvMemHWC uint16 = 32
+
+func init() {
+	event.Default.MustRegister(event.MajorMem, EvMemHWC, "TRC_MEM_HWC",
+		"64 64 64 64 64",
+		"hwc sym %0[%lld]: %1[%lld] cycles, %2[%lld] instr, %3[%lld] misses, %4[%lld] remote")
+}
+
+// hwCounters is one CPU's counter state.
+type hwCounters struct {
+	cycles uint64
+	instr  uint64
+	misses uint64 // local cache misses
+	remote uint64 // coherence (remote-line) misses
+	// last* remember the previous sample so events carry deltas.
+	lastCycles, lastInstr, lastMisses, lastRemote uint64
+	nextSample                                    uint64
+}
+
+// Cache-behavior model constants: misses charged per modeled action.
+const (
+	missPerCacheLine   = 1  // per 64 bytes copied
+	missesPerAlloc     = 8  // allocator metadata pointer chase
+	missesPerSwitch    = 64 // cold cache after a context switch
+	missesPerPageFault = 32 // page-table walk and zeroing
+	remotePerSpin      = 1  // each spin re-fetches the lock's cache line
+)
+
+// accrueWork charges the baseline counters for d ns of execution (the
+// 1GHz-era convention: one cycle and roughly one instruction per ns).
+func (h *hwCounters) accrueWork(d uint64) {
+	h.cycles += d
+	h.instr += d
+}
+
+// hwcSample logs a counter sample on c if the period elapsed. sym is the
+// symbol executing when the sample fires, making hot-spot attribution
+// possible.
+func (k *Kernel) hwcSample(c *SimCPU, sym SymID) {
+	if k.cfg.HWCSamplePeriod == 0 {
+		return
+	}
+	h := &c.hwc
+	for h.nextSample <= c.now {
+		k.log(c, event.MajorMem, EvMemHWC,
+			uint64(sym),
+			h.cycles-h.lastCycles,
+			h.instr-h.lastInstr,
+			h.misses-h.lastMisses,
+			h.remote-h.lastRemote)
+		h.lastCycles, h.lastInstr = h.cycles, h.instr
+		h.lastMisses, h.lastRemote = h.misses, h.remote
+		h.nextSample += k.cfg.HWCSamplePeriod
+	}
+}
+
+// chargeMisses adds local cache misses on c.
+func (c *SimCPU) chargeMisses(n uint64) { c.hwc.misses += n }
+
+// chargeRemote adds coherence misses on c.
+func (c *SimCPU) chargeRemote(n uint64) { c.hwc.remote += n }

@@ -1,0 +1,202 @@
+// Package ksim is the substrate the tracing infrastructure observes: a
+// deterministic discrete-event simulation of a K42-like multiprocessor
+// operating system. The paper evaluated its tracing facility by running a
+// scalable OS on large PowerPC multiprocessors; lacking that hardware, we
+// simulate the OS — processors, a scheduler with migration and work
+// stealing, processes running scripts of system calls, a file system with
+// a dentry cache, K42-style memory allocators (GMalloc/PMalloc/
+// AllocRegionManager), page-fault handling, and PPC-style IPC into a
+// server domain — and have every subsystem log real trace events through
+// the real lockless tracer (internal/core) using a virtual clock.
+//
+// Two configurations reproduce the paper's tuning narrative:
+//
+//   - Coarse: global locks everywhere (one dentry lock, one GMalloc lock,
+//     one page allocator lock, one run-queue lock) — the "quick or
+//     incomplete implementations of different code paths led to poor
+//     scaling" starting point;
+//   - Tuned: per-CPU allocator pools, hashed dentry locks, per-CPU run
+//     queues, per-CPU page caches — the state after the lock-analysis-
+//     driven iteration the paper describes ("we used the lock analysis
+//     tool to determine the most contended lock in the system, fixed it,
+//     and then ran the tool again").
+//
+// Because the simulation advances virtual time deterministically (one
+// operation at a time on the globally earliest CPU), throughput curves and
+// traces are reproducible and independent of the host machine.
+package ksim
+
+import (
+	"fmt"
+
+	"k42trace/internal/core"
+)
+
+// Well-known process IDs, matching the paper's convention: "PID 0 in K42
+// is the kernel and 1 is baseServers".
+const (
+	PidKernel      = 0
+	PidBaseServers = 1
+	firstUserPid   = 2
+)
+
+// CostModel holds the virtual-time costs (in nanoseconds) of the modeled
+// operations. Defaults are paper-era magnitudes on a ~1GHz processor.
+type CostModel struct {
+	ContextSwitch uint64 // scheduler switch between processes
+	SyscallEntry  uint64 // user/kernel crossing, each way
+	PPCCall       uint64 // protected procedure call into a server, each way
+	DentryLookup  uint64 // path component lookup work
+	DentryCS      uint64 // dentry-lock critical section
+	FileCS        uint64 // per-file lock critical section for read/write
+	FilePerKB     uint64 // data movement cost per KiB
+	AllocWork     uint64 // allocator bookkeeping outside the lock
+	AllocCS       uint64 // allocator critical section (GMalloc chain)
+	PageFault     uint64 // exception entry/exit and mapping work
+	PageAllocCS   uint64 // page-allocator critical section
+	ForkBase      uint64 // fork with lazy state replication (Tuned)
+	ForkEagerCopy uint64 // extra fork cost when state is copied eagerly (Coarse)
+	SpinCycle     uint64 // one trip around a lock's spin loop
+	RunqueueCS    uint64 // run-queue lock critical section
+	// Tracing-path costs, used when a tracer is attached. The enabled-event
+	// cost is the paper's own measurement: "a 1-word 64-bit event requires
+	// 91 cycles (100 ns on a 1GHz processor) with 11 cycles for each
+	// additional 64-bit word logged"; the mask check is 4 instructions.
+	MaskCheck uint64
+	EventBase uint64
+	EventWord uint64
+	// PoolRefillEvery is how many per-CPU pool allocations are served
+	// before the pool refills from the global allocator (Tuned config).
+	PoolRefillEvery int
+	// DiskLatency enables blocking disk I/O when nonzero: every
+	// DiskMissEvery-th data access to a file misses the buffer cache, the
+	// thread blocks, and the I/O completion wakes it DiskLatency ns later
+	// (on whichever CPU the scheduler picks). 0 disables the disk — all
+	// file data is cache-resident, the default.
+	DiskLatency   uint64
+	DiskMissEvery int
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ContextSwitch:   2000,
+		SyscallEntry:    700,
+		PPCCall:         900,
+		DentryLookup:    600,
+		DentryCS:        500,
+		FileCS:          400,
+		FilePerKB:       800,
+		AllocWork:       250,
+		AllocCS:         350,
+		PageFault:       1500,
+		PageAllocCS:     500,
+		ForkBase:        20000,
+		ForkEagerCopy:   180000,
+		SpinCycle:       40,
+		RunqueueCS:      250,
+		MaskCheck:       4,
+		EventBase:       100,
+		EventWord:       11,
+		PoolRefillEvery: 64,
+	}
+}
+
+// Config describes a simulated machine and OS configuration.
+type Config struct {
+	// CPUs is the number of simulated processors (>=1).
+	CPUs int
+	// Tuned selects the scalable configuration (per-CPU structures) rather
+	// than the coarse global-lock one.
+	Tuned bool
+	// Tracer, if non-nil, receives the OS's trace events; it must have at
+	// least Config.CPUs processor slots and should use this kernel's Clock
+	// (see NewKernel, which wires it). A nil Tracer models tracing
+	// compiled out: not even the mask check is paid.
+	Tracer *core.Tracer
+	// LockedTrace models the pre-K42 logging design the paper replaced: a
+	// single event buffer guarded by a global lock, so every enabled event
+	// serializes all processors through one critical section. Used by the
+	// C4 experiment to reproduce the "order of magnitude" improvement LTT
+	// saw from adopting lockless per-CPU logging — in virtual time, where
+	// true multiprocessor contention exists regardless of the host.
+	LockedTrace bool
+	// Costs is the virtual-time cost model; zero value uses DefaultCosts.
+	Costs CostModel
+	// Quantum is the scheduling time slice in virtual ns (default 5ms).
+	Quantum uint64
+	// SamplePeriod enables the statistical PC sampler with the given
+	// virtual period (0 = off).
+	SamplePeriod uint64
+	// HWCSamplePeriod enables sampling of the simulated hardware counters
+	// (cycles, instructions, cache and coherence misses) into TRC_MEM_HWC
+	// events with the given virtual period (0 = off) — the §2 integration
+	// of hardware counters with the tracing infrastructure.
+	HWCSamplePeriod uint64
+	// Seed makes workload randomness reproducible.
+	Seed int64
+	// TimerIRQPeriod enables periodic timer/device interrupts with the
+	// given virtual period (0 = off). Interrupts preempt whatever is
+	// running — including lock critical sections — which is how the
+	// "unexpectedly long lock hold times" of §2 arise: "because we had
+	// integrated scheduling events ... we were able to see that there were
+	// context switches between the lock acquire and release events."
+	TimerIRQPeriod uint64
+	// IRQCost is the virtual time per interrupt (default 4µs when
+	// TimerIRQPeriod is set).
+	IRQCost uint64
+	// StaggerStart delays the i-th top-level script's availability by
+	// i*StaggerStart virtual ns, reproducing the benchmark-startup flaw
+	// the paper's graphical tool exposed: "large idle periods on many
+	// processors when the benchmark started ... caused by poor
+	// coordination between the timing and start routines of the
+	// benchmark."
+	StaggerStart uint64
+}
+
+func (c *Config) fill() error {
+	if c.CPUs < 1 {
+		return fmt.Errorf("ksim: CPUs must be >= 1")
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 5_000_000
+	}
+	if c.TimerIRQPeriod > 0 && c.IRQCost == 0 {
+		c.IRQCost = 4000
+	}
+	return nil
+}
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	// MakespanNs is the virtual time at which the last CPU finished — the
+	// denominator of throughput.
+	MakespanNs uint64
+	// Scripts is the number of top-level scripts completed (children from
+	// forks count separately in Processes).
+	Scripts   int
+	Processes int
+	Threads   int
+	// BusyNs and IdleNs are per-CPU virtual-time accounting.
+	BusyNs []uint64
+	IdleNs []uint64
+	// Ops is the total number of operations executed.
+	Ops uint64
+	// TraceEvents is the number of trace events the OS logged (0 when
+	// tracing is compiled out or disabled).
+	TraceEvents uint64
+	// Blocked counts processes stranded at a barrier whose group never
+	// completed — a workload bug the run surfaces instead of hanging.
+	Blocked int
+}
+
+// Throughput returns scripts per virtual hour, the SDET metric.
+func (r RunResult) Throughput() float64 {
+	if r.MakespanNs == 0 {
+		return 0
+	}
+	return float64(r.Scripts) / (float64(r.MakespanNs) / 3.6e12)
+}

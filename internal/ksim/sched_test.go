@@ -1,0 +1,100 @@
+package ksim
+
+import (
+	"testing"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// countSched tallies scheduler events across all CPUs of a traced run.
+func countSched(t *testing.T, quantum uint64, scripts []*Script) (switches, migrates int) {
+	t.Helper()
+	k, tr, err := NewTracedKernel(Config{CPUs: 2, Tuned: true, Quantum: quantum},
+		core.Config{BufWords: 8192, NumBufs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Enable(event.MajorSched)
+	if _, err := k.Run(scripts); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 2; cpu++ {
+		evs, _ := tr.Dump(cpu)
+		for _, e := range evs {
+			if e.Major() != event.MajorSched {
+				continue
+			}
+			switch e.Minor() {
+			case EvSchedSwitch:
+				switches++
+			case EvSchedMigrate:
+				migrates++
+			}
+		}
+	}
+	return switches, migrates
+}
+
+func TestShorterQuantumMeansMoreSwitches(t *testing.T) {
+	mk := func() []*Script {
+		var scripts []*Script
+		for i := 0; i < 6; i++ {
+			var ops []Op
+			for j := 0; j < 40; j++ {
+				ops = append(ops, Op{Kind: OpCompute, Ns: 10_000})
+			}
+			scripts = append(scripts, &Script{Name: "loop", Ops: ops})
+		}
+		return scripts
+	}
+	longQ, _ := countSched(t, 10_000_000, mk())
+	shortQ, _ := countSched(t, 30_000, mk())
+	t.Logf("switches: quantum=10ms %d, quantum=30us %d", longQ, shortQ)
+	if shortQ <= longQ*2 {
+		t.Errorf("short quantum should multiply context switches: %d vs %d", shortQ, longQ)
+	}
+}
+
+func TestWorkStealingMigrates(t *testing.T) {
+	// All work starts on CPU 0 (one long script forks children that land
+	// elsewhere via balancing); an imbalanced initial placement triggers
+	// steals/migrations.
+	var ops []Op
+	for j := 0; j < 30; j++ {
+		ops = append(ops, Op{Kind: OpCompute, Ns: 20_000})
+	}
+	// Three scripts, 2 CPUs: initial round-robin puts two on cpu0.
+	scripts := []*Script{
+		{Name: "a", Ops: ops}, {Name: "b", Ops: ops}, {Name: "c", Ops: ops},
+	}
+	_, migrates := countSched(t, 50_000, scripts)
+	if migrates == 0 {
+		t.Error("no migrations despite imbalance and preemption")
+	}
+}
+
+func TestSwitchEventsCarryThreadIDs(t *testing.T) {
+	k, tr, err := NewTracedKernel(Config{CPUs: 1, Tuned: true},
+		core.Config{BufWords: 2048, NumBufs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Enable(event.MajorSched)
+	if _, err := k.Run(workload(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := tr.Dump(0)
+	found := false
+	for _, e := range evs {
+		if e.Major() == event.MajorSched && e.Minor() == EvSchedSwitch {
+			if len(e.Data) < 3 {
+				t.Fatalf("switch event lacks tid: %v", e.Data)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no switch events")
+	}
+}

@@ -1,0 +1,107 @@
+package ksim
+
+import (
+	"testing"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// spawner builds a process whose main thread spawns n worker threads and
+// then does a little work of its own.
+func spawner(n int, workNs uint64) *Script {
+	worker := &Script{Name: "worker", Ops: []Op{
+		{Kind: OpCompute, Ns: workNs},
+		{Kind: OpAlloc, Bytes: 128},
+		{Kind: OpFree},
+	}}
+	var ops []Op
+	for i := 0; i < n; i++ {
+		ops = append(ops, Op{Kind: OpSpawn, Child: worker})
+	}
+	ops = append(ops, Op{Kind: OpCompute, Ns: workNs})
+	return &Script{Name: "spawner", Ops: ops}
+}
+
+func TestSpawnedThreadsRunAndProcessExitsOnce(t *testing.T) {
+	k, tr, err := NewTracedKernel(Config{CPUs: 4, Tuned: true},
+		core.Config{BufWords: 4096, NumBufs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.EnableAll()
+	res, err := k.Run([]*Script{spawner(6, 20_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processes != 1 {
+		t.Errorf("Processes = %d, want 1", res.Processes)
+	}
+	if res.Threads != 7 {
+		t.Errorf("Threads = %d, want 7 (main + 6 workers)", res.Threads)
+	}
+	if res.Scripts != 1 {
+		t.Errorf("Scripts = %d", res.Scripts)
+	}
+	spawns, texits, pexits, switches := 0, 0, 0, 0
+	tids := map[uint64]bool{}
+	for cpu := 0; cpu < 4; cpu++ {
+		evs, info := tr.Dump(cpu)
+		if info.Stats.Garbled() {
+			t.Fatal("garbled")
+		}
+		for _, e := range evs {
+			switch {
+			case e.Major() == event.MajorProc && e.Minor() == EvProcSpawn:
+				spawns++
+				tids[e.Data[1]] = true
+			case e.Major() == event.MajorProc && e.Minor() == EvProcThreadExit:
+				texits++
+			case e.Major() == event.MajorProc && e.Minor() == EvProcExit:
+				pexits++
+			case e.Major() == event.MajorSched && e.Minor() == EvSchedSwitch:
+				switches++
+				if len(e.Data) >= 3 && e.Data[2]>>32 != 0x80000000 {
+					t.Errorf("switch tid %x lacks the kernel-pointer shape", e.Data[2])
+				}
+			}
+		}
+	}
+	if spawns != 6 {
+		t.Errorf("spawn events = %d", spawns)
+	}
+	if len(tids) != 6 {
+		t.Errorf("distinct worker tids = %d", len(tids))
+	}
+	if texits != 6 {
+		t.Errorf("thread-exit events = %d", texits)
+	}
+	if pexits != 1 {
+		t.Errorf("process-exit events = %d, want exactly 1", pexits)
+	}
+	if switches == 0 {
+		t.Error("no dispatch events")
+	}
+}
+
+func TestThreadsRunInParallel(t *testing.T) {
+	// 8 worker threads of 100µs each: on 8 CPUs the makespan must be far
+	// below the 800µs serial time.
+	serial := run(t, 1, true, []*Script{spawner(8, 100_000)})
+	parallel := run(t, 8, true, []*Script{spawner(8, 100_000)})
+	t.Logf("makespan: 1 cpu %dns, 8 cpus %dns", serial.MakespanNs, parallel.MakespanNs)
+	if parallel.MakespanNs*3 > serial.MakespanNs {
+		t.Errorf("threads did not spread across CPUs: %d vs %d",
+			parallel.MakespanNs, serial.MakespanNs)
+	}
+}
+
+func TestSpawnNilChildNoop(t *testing.T) {
+	res := run(t, 1, true, []*Script{{Name: "s", Ops: []Op{
+		{Kind: OpSpawn, Child: nil},
+		{Kind: OpCompute, Ns: 100},
+	}}})
+	if res.Threads != 1 || res.Scripts != 1 {
+		t.Errorf("threads=%d scripts=%d", res.Threads, res.Scripts)
+	}
+}

@@ -1,0 +1,148 @@
+// Package lttconv converts ktrace event streams into the Linux Trace
+// Toolkit's event vocabulary — the paper's immediate future work: "an
+// immediate area of future work is converting the output stream produced
+// by K42's trace facility so that it can be read by LTT's visual display
+// toolkit. That package provides a nice model to understand thread
+// interactions."
+//
+// The exporter maps K42/ksim events onto LTT 0.9.x's event kinds (Syscall
+// entry/exit, Sched change, Trap entry/exit, Process, FS, Memory, Custom)
+// and emits the visualizer's textual dump layout, one event per line:
+//
+//	######################################################################
+//	Event           Time                  PID     Description
+//	######################################################################
+//	Sched change    1,006,467,460,342    1234    IN : 5; OUT : 3; STATE : 1
+//
+// Events with no LTT counterpart are exported as LTT "Custom" events
+// carrying the ktrace rendering, so nothing is dropped.
+package lttconv
+
+import (
+	"fmt"
+	"io"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// Stats summarizes a conversion.
+type Stats struct {
+	Events int
+	Custom int // events exported as LTT Custom (no native counterpart)
+}
+
+// WriteText converts the trace to the LTT text-dump layout. Control
+// events (anchors, fillers, definition records) are infrastructure and
+// are not exported.
+func WriteText(w io.Writer, t *analysis.Trace) (Stats, error) {
+	var st Stats
+	if _, err := fmt.Fprintf(w, "%s\nEvent                Time              PID   Description\n%s\n",
+		rule, rule); err != nil {
+		return st, err
+	}
+	// LTT attributes events to the current pid: replay scheduling state.
+	var werr error
+	analysis.Walk(t.Events, analysis.MaxCPU(t.Events), analysis.Hooks{
+		Event: func(e *event.Event, cs *analysis.CPUState) {
+			if werr != nil || e.Major() == event.MajorControl {
+				return
+			}
+			kind, desc, custom := convert(t, e, cs)
+			if custom {
+				st.Custom++
+			}
+			st.Events++
+			_, werr = fmt.Fprintf(w, "%-20s %-17s %-5d %s\n",
+				kind, lttTime(e.Time), cs.Pid, desc)
+		},
+	})
+	return st, werr
+}
+
+const rule = "######################################################################"
+
+// lttTime renders a timestamp the way LTT's dumps did: comma-grouped
+// nanoseconds.
+func lttTime(ns uint64) string {
+	s := fmt.Sprintf("%d", ns)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// convert maps one event to an (LTT kind, description) pair.
+func convert(t *analysis.Trace, e *event.Event, cs *analysis.CPUState) (kind, desc string, custom bool) {
+	d := func(i int) uint64 {
+		if i < len(e.Data) {
+			return e.Data[i]
+		}
+		return 0
+	}
+	switch e.Major() {
+	case event.MajorSched:
+		switch e.Minor() {
+		case ksim.EvSchedSwitch:
+			return "Sched change", fmt.Sprintf("IN : %d; OUT : %d; STATE : 1", d(1), d(0)), false
+		case ksim.EvSchedMigrate:
+			return "Sched change", fmt.Sprintf("IN : %d; OUT : 0; STATE : 2 (migrated %d->%d)",
+				d(0), d(1), d(2)), false
+		case ksim.EvSchedIdle:
+			return "Kernel timer", "IDLE : 1", false
+		case ksim.EvSchedResume:
+			return "Kernel timer", fmt.Sprintf("IDLE : 0; NS : %d", d(0)), false
+		}
+	case event.MajorSyscall:
+		name := ksim.SyscallName(d(1))
+		if e.Minor() == ksim.EvSyscallEnter {
+			return "Syscall entry", fmt.Sprintf("SYSCALL : %s; PID : %d", name, d(0)), false
+		}
+		return "Syscall exit", fmt.Sprintf("SYSCALL : %s; PID : %d", name, d(0)), false
+	case event.MajorException:
+		switch e.Minor() {
+		case ksim.EvPgflt:
+			return "Trap entry", fmt.Sprintf("TRAP : page fault; ADDRESS : 0x%x", d(1)), false
+		case ksim.EvPgfltDone:
+			return "Trap exit", fmt.Sprintf("TRAP : page fault; ADDRESS : 0x%x", d(1)), false
+		case ksim.EvPPCCall:
+			return "IPC call", fmt.Sprintf("COMM : 0x%x", d(0)), false
+		case ksim.EvPPCReturn:
+			return "IPC return", fmt.Sprintf("COMM : 0x%x", d(0)), false
+		}
+	case event.MajorProc:
+		switch e.Minor() {
+		case ksim.EvProcFork:
+			return "Process", fmt.Sprintf("FORK; PARENT : %d; CHILD : %d", d(0), d(1)), false
+		case ksim.EvProcExit:
+			return "Process", fmt.Sprintf("EXIT; PID : %d", d(0)), false
+		case ksim.EvProcExec:
+			return "Process", fmt.Sprintf("EXEC; PID : %d", d(0)), false
+		}
+	case event.MajorIO:
+		switch e.Minor() {
+		case ksim.EvIOOpen:
+			return "File system", fmt.Sprintf("OPEN : %s; PID : %d", t.FileName(d(1)), d(0)), false
+		case ksim.EvIORead:
+			return "File system", fmt.Sprintf("READ : %s; COUNT : %d", t.FileName(d(0)), d(1)), false
+		case ksim.EvIOWrite:
+			return "File system", fmt.Sprintf("WRITE : %s; COUNT : %d", t.FileName(d(0)), d(1)), false
+		case ksim.EvIOClose:
+			return "File system", fmt.Sprintf("CLOSE : %s", t.FileName(d(0))), false
+		}
+	case event.MajorMem:
+		if e.Minor() == ksim.EvMemHWC {
+			return "Memory", fmt.Sprintf("HWC; CYCLES : %d; MISSES : %d; REMOTE : %d",
+				d(1), d(3), d(4)), false
+		}
+	}
+	// No native LTT counterpart: ship it as a Custom event with the
+	// ktrace self-described rendering, so the information survives.
+	name, text := event.Describe(t.Reg, e)
+	return "Custom", fmt.Sprintf("%s : %s", name, text), true
+}

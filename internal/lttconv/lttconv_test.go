@@ -1,0 +1,114 @@
+package lttconv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+func mk(cpu int, ts uint64, major event.Major, minor uint16, data ...uint64) event.Event {
+	return event.Event{
+		Header: event.MakeHeader(uint32(ts), 1+len(data), major, minor),
+		Time:   ts,
+		CPU:    cpu,
+		Data:   data,
+	}
+}
+
+func TestLTTTimeGrouping(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{1006467460342, "1,006,467,460,342"},
+	}
+	for _, c := range cases {
+		if got := lttTime(c.in); got != c.want {
+			t.Errorf("lttTime(%d) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConvertKnownKinds(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 10, event.MajorSched, ksim.EvSchedSwitch, 3, 5),
+		mk(0, 20, event.MajorSyscall, ksim.EvSyscallEnter, 5, ksim.SysRead),
+		mk(0, 30, event.MajorException, ksim.EvPgflt, 5, 0x4000),
+		mk(0, 40, event.MajorException, ksim.EvPgfltDone, 5, 0x4000),
+		mk(0, 50, event.MajorSyscall, ksim.EvSyscallExit, 5, ksim.SysRead),
+		mk(0, 60, event.MajorProc, ksim.EvProcExit, 5),
+		mk(0, 70, event.MajorUser, 40, 1, 2), // unregistered -> Custom
+	}
+	tr := analysis.Build(evs, 1e9, event.Default)
+	var buf bytes.Buffer
+	st, err := WriteText(&buf, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 7 || st.Custom != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Sched change", "IN : 5; OUT : 3",
+		"Syscall entry", "SYSCALL : read",
+		"Trap entry", "TRAP : page fault",
+		"Trap exit",
+		"Syscall exit",
+		"Process", "EXIT; PID : 5",
+		"Custom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// PID attribution: events after the switch carry pid 5.
+	if !strings.Contains(out, "Syscall entry        20                5") {
+		t.Errorf("pid column wrong:\n%s", out)
+	}
+}
+
+func TestConvertFullSDETTrace(t *testing.T) {
+	var buf bytes.Buffer
+	p := sdet.Params{ScriptsPerCPU: 2, CommandsPerScript: 3, Seed: 5}
+	if _, err := sdet.Run(sdet.Config{CPUs: 2, Tuned: false, Trace: sdet.TraceOn,
+		Params: p, HWCSample: 100_000}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := stream.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := analysis.Build(evs, rd.Meta().ClockHz, event.Default)
+	var out bytes.Buffer
+	st, err := WriteText(&out, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events == 0 {
+		t.Fatal("no events converted")
+	}
+	// Every line after the header must have the LTT column shape.
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != st.Events+3 {
+		t.Errorf("got %d lines for %d events", len(lines), st.Events)
+	}
+	for _, want := range []string{"Sched change", "Syscall entry", "File system", "Memory"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("SDET conversion missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package relay moves trace buffers off the traced system, the role
+// relayfs plays in Linux ("a mechanism for transferring data from kernel
+// to user space ... has also incorporated aspects of K42's tracing
+// technology"): sealed per-CPU buffers are shipped, whole, over a network
+// connection using the same wire format as the on-disk trace, so the
+// collector can save them directly or analyze them live while the system
+// runs.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"k42trace/internal/core"
+	"k42trace/internal/stream"
+)
+
+// Send streams a tracer's sealed buffers to addr until the tracer is
+// stopped. It is the producer side: dial, then stream.Capture onto the
+// connection.
+func Send(tr *core.Tracer, addr string) (stream.CaptureStats, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return stream.CaptureStats{}, fmt.Errorf("relay: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return stream.Capture(tr, conn)
+}
+
+// Handler processes one incoming trace stream. It is called once per
+// accepted connection with the already-validated block stream; returning
+// an error closes the connection.
+type Handler func(remote net.Addr, bs *stream.BlockStream) error
+
+// Server accepts trace streams from traced systems.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	errs    []error
+	closed  bool
+}
+
+// Listen starts a collector on addr (use "127.0.0.1:0" for an ephemeral
+// port) and serves connections with h until Close.
+func Listen(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address, for clients to dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.mu.Lock()
+				s.errs = append(s.errs, err)
+				s.mu.Unlock()
+			}
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) error {
+	bs, err := stream.NewBlockStream(conn)
+	if err != nil {
+		return err
+	}
+	return s.handler(conn.RemoteAddr(), bs)
+}
+
+// Close stops accepting and waits for in-flight connections to finish,
+// returning any handler errors.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return errors.Join(s.errs...)
+}
+
+// SaveHandler returns a Handler that re-serializes every incoming stream
+// into w in trace-file format, so the collected bytes are directly
+// openable with stream.NewReader. Multiple connections (sequential or
+// concurrent) append into the same file: the first writes the header and
+// later ones must carry identical metadata; block writes are serialized.
+// The returned stats pointer is updated as blocks arrive (read it after
+// Server.Close).
+func SaveHandler(w io.Writer) (Handler, *SaveStats) {
+	st := &SaveStats{}
+	var (
+		mu sync.Mutex
+		wr *stream.Writer
+	)
+	h := func(remote net.Addr, bs *stream.BlockStream) error {
+		mu.Lock()
+		if wr == nil {
+			var err error
+			wr, err = stream.NewWriter(w, bs.Meta())
+			if err != nil {
+				mu.Unlock()
+				return err
+			}
+		} else if wr.Meta() != bs.Meta() {
+			mu.Unlock()
+			return fmt.Errorf("relay: stream from %v has metadata %+v, file has %+v",
+				remote, bs.Meta(), wr.Meta())
+		}
+		mu.Unlock()
+		blocks, anoms := 0, 0
+		for {
+			bh, words, err := bs.Next()
+			if err == io.EOF {
+				st.mu.Lock()
+				st.Blocks += blocks
+				st.Anomalies += anoms
+				st.mu.Unlock()
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if bh.Anomalous() {
+				anoms++
+			}
+			mu.Lock()
+			werr := wr.WriteBlock(bh, words)
+			mu.Unlock()
+			if werr != nil {
+				return werr
+			}
+			blocks++
+		}
+	}
+	return h, st
+}
+
+// SaveStats reports what a SaveHandler collected.
+type SaveStats struct {
+	mu        sync.Mutex
+	Blocks    int
+	Anomalies int
+}
+
+// Snapshot returns the current counts.
+func (s *SaveStats) Snapshot() (blocks, anomalies int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Blocks, s.Anomalies
+}
+
+// LiveBlock is one buffer delivered to a live consumer.
+type LiveBlock struct {
+	Header stream.BlockHeader
+	Words  []uint64
+}
+
+// LiveHandler returns a Handler that decodes incoming buffers and sends
+// them on the returned channel, enabling live analysis while the traced
+// system runs ("this event log may be examined while the system is
+// running ... or streamed over the network"). The channel closes when the
+// sender finishes.
+func LiveHandler(buffered int) (Handler, <-chan LiveBlock) {
+	ch := make(chan LiveBlock, buffered)
+	h := func(remote net.Addr, bs *stream.BlockStream) error {
+		defer close(ch)
+		for {
+			bh, words, err := bs.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			ch <- LiveBlock{Header: bh, Words: words}
+		}
+	}
+	return h, ch
+}

@@ -1,0 +1,263 @@
+package relay
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/stream"
+)
+
+func newStreamTracer() *core.Tracer {
+	tr := core.MustNew(core.Config{
+		CPUs: 2, BufWords: 64, NumBufs: 4,
+		Mode: core.Stream, Clock: clock.NewManual(1),
+	})
+	tr.EnableAll()
+	return tr
+}
+
+func TestSendAndSaveOverLoopback(t *testing.T) {
+	var file bytes.Buffer
+	h, st := SaveHandler(&file)
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newStreamTracer()
+	sendDone := make(chan error, 1)
+	go func() {
+		_, err := Send(tr, srv.Addr())
+		sendDone <- err
+	}()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.CPU(i%2).Log1(event.MajorTest, 1, uint64(i))
+	}
+	tr.Stop()
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, anoms := st.Snapshot()
+	if blocks == 0 || anoms != 0 {
+		t.Fatalf("blocks=%d anoms=%d", blocks, anoms)
+	}
+	// The collected bytes must be a valid trace file with all events.
+	rd, err := stream.NewReader(bytes.NewReader(file.Bytes()), int64(file.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, dst, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Garbled() {
+		t.Fatal("garbled after network round trip")
+	}
+	got := 0
+	for _, e := range evs {
+		if e.Major() == event.MajorTest {
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("recovered %d events, want %d", got, n)
+	}
+}
+
+func TestLiveHandlerDeliversWhileRunning(t *testing.T) {
+	h, ch := LiveHandler(16)
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := newStreamTracer()
+	go Send(tr, srv.Addr())
+
+	// Log enough to seal at least two buffers, then read them live before
+	// the tracer stops.
+	c := tr.CPU(0)
+	for i := 0; i < 100; i++ {
+		c.Log1(event.MajorTest, 1, uint64(i))
+	}
+	live := 0
+	for b := range ch {
+		evs, st := core.DecodeBuffer(b.Header.CPU, b.Words)
+		if st.Garbled() {
+			t.Fatal("live block garbled")
+		}
+		if len(evs) == 0 {
+			t.Fatal("live block empty")
+		}
+		live++
+		if live == 2 {
+			break // received while the traced system was still running
+		}
+	}
+	if live < 2 {
+		t.Fatalf("only %d live blocks", live)
+	}
+	tr.Stop()
+	for range ch {
+	} // drain
+}
+
+func TestMultipleSendersAppendToOneFile(t *testing.T) {
+	var file bytes.Buffer
+	h, st := SaveHandler(&file)
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sequential sessions with identical geometry.
+	for round := 0; round < 2; round++ {
+		tr := newStreamTracer()
+		done := make(chan error, 1)
+		go func() {
+			_, err := Send(tr, srv.Addr())
+			done <- err
+		}()
+		for i := 0; i < 200; i++ {
+			tr.CPU(i%2).Log1(event.MajorTest, uint16(round), uint64(i))
+		}
+		tr.Stop()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := st.Snapshot()
+	rd, err := stream.NewReader(bytes.NewReader(file.Bytes()), int64(file.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumBlocks() != blocks {
+		t.Errorf("file has %d blocks, stats counted %d", rd.NumBlocks(), blocks)
+	}
+	evs, dst, err := rd.ReadAll()
+	if err != nil || dst.Garbled() {
+		t.Fatalf("err=%v garbled=%v", err, dst.Garbled())
+	}
+	byRound := map[uint16]int{}
+	for _, e := range evs {
+		if e.Major() == event.MajorTest {
+			byRound[e.Minor()]++
+		}
+	}
+	if byRound[0] != 200 || byRound[1] != 200 {
+		t.Errorf("events per round: %v", byRound)
+	}
+}
+
+func TestMismatchedSenderRejected(t *testing.T) {
+	var file bytes.Buffer
+	h, _ := SaveHandler(&file)
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sender establishes 64-word geometry.
+	tr1 := newStreamTracer()
+	done := make(chan error, 1)
+	go func() { _, err := Send(tr1, srv.Addr()); done <- err }()
+	tr1.CPU(0).Log1(event.MajorTest, 1, 1)
+	tr1.Stop()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Second sender uses different buffer geometry: must be rejected.
+	tr2 := core.MustNew(core.Config{CPUs: 2, BufWords: 128, NumBufs: 4,
+		Mode: core.Stream, Clock: clock.NewManual(1)})
+	tr2.EnableAll()
+	go func() { _, err := Send(tr2, srv.Addr()); done <- err }()
+	tr2.CPU(0).Log1(event.MajorTest, 1, 1)
+	tr2.Stop()
+	<-done // sender side may or may not see the reset; the server must err
+	if err := srv.Close(); err == nil {
+		t.Error("mismatched metadata should surface as a server error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(net.Addr, *stream.BlockStream) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToUnreachableAddr(t *testing.T) {
+	tr := newStreamTracer()
+	defer tr.Stop()
+	if _, err := Send(tr, "127.0.0.1:1"); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestBadStreamHeaderRejected(t *testing.T) {
+	gotErr := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(net.Addr, *stream.BlockStream) error {
+		t.Error("handler should not run for a bad header")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(bytes.Repeat([]byte{0xee}, 200))
+	conn.Close()
+	close(gotErr)
+	if err := srv.Close(); err == nil {
+		t.Error("expected header error from Close")
+	}
+	<-gotErr
+}
+
+func TestBlockStreamTruncatedBlock(t *testing.T) {
+	// Build a valid stream then cut a block in half; Next must return
+	// ErrUnexpectedEOF, not silently succeed.
+	tr := newStreamTracer()
+	var buf bytes.Buffer
+	wait := stream.CaptureAsync(tr, &buf)
+	for i := 0; i < 200; i++ {
+		tr.CPU(0).Log1(event.MajorTest, 1, uint64(i))
+	}
+	tr.Stop()
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-17]
+	bs, err := stream.NewBlockStream(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, _, err := bs.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Error("truncation reported as clean EOF")
+	}
+}

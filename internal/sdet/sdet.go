@@ -1,0 +1,207 @@
+// Package sdet reproduces the paper's Figure 3 experiment: a SPEC
+// SDET-style throughput benchmark — "a series of independent scripts that
+// simulate a typical Unix time-shared environment by running commands such
+// as awk, grep, and nroff" — executed on the simulated multiprocessor OS
+// (internal/ksim), swept over processor counts and configurations.
+//
+// Each script is a shell-like sequence of commands; each command is an op
+// mix characteristic of the real utility (grep is read-heavy, nroff is
+// compute- and alloc-heavy, spell hits a shared dictionary, every command
+// stats its binary in /bin — the shared-path metadata traffic that makes
+// coarse kernels fall over). Throughput is reported in scripts per virtual
+// hour, the SDET metric.
+package sdet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"k42trace/internal/ksim"
+)
+
+// command builds the op list for one simulated Unix command acting on a
+// per-script working file.
+type command struct {
+	name  string
+	build func(wdir string, r *rand.Rand) []ksim.Op
+}
+
+// kb is a byte-count helper.
+func kb(n uint64) uint64 { return n * 1024 }
+
+// binStat is the shell's stat of the command binary before running it — a
+// shared path touched by every script, so the dentry cache sees real
+// cross-script sharing.
+func binStat(name string) ksim.Op {
+	return ksim.Op{Kind: ksim.OpStat, Path: "/bin/" + name}
+}
+
+var commands = []command{
+	{"grep", func(w string, r *rand.Rand) []ksim.Op {
+		f := w + "/src.c"
+		ops := []ksim.Op{binStat("grep"), {Kind: ksim.OpOpen, Path: f}}
+		for i := 0; i < 4; i++ {
+			ops = append(ops,
+				ksim.Op{Kind: ksim.OpRead, Path: f, Bytes: kb(4)},
+				ksim.Op{Kind: ksim.OpCompute, Ns: 2500})
+		}
+		return append(ops, ksim.Op{Kind: ksim.OpClose, Path: f})
+	}},
+	{"awk", func(w string, r *rand.Rand) []ksim.Op {
+		f := w + "/data.txt"
+		ops := []ksim.Op{binStat("awk"),
+			{Kind: ksim.OpAlloc, Bytes: kb(2)},
+			{Kind: ksim.OpOpen, Path: f}}
+		for i := 0; i < 3; i++ {
+			ops = append(ops,
+				ksim.Op{Kind: ksim.OpRead, Path: f, Bytes: kb(2)},
+				ksim.Op{Kind: ksim.OpCompute, Ns: 6000},
+				ksim.Op{Kind: ksim.OpAlloc, Bytes: 512},
+				ksim.Op{Kind: ksim.OpFree})
+		}
+		return append(ops,
+			ksim.Op{Kind: ksim.OpWrite, Path: w + "/out.txt", Bytes: kb(1)},
+			ksim.Op{Kind: ksim.OpClose, Path: f},
+			ksim.Op{Kind: ksim.OpFree})
+	}},
+	{"nroff", func(w string, r *rand.Rand) []ksim.Op {
+		f := w + "/doc.ms"
+		ops := []ksim.Op{binStat("nroff"),
+			{Kind: ksim.OpOpen, Path: f},
+			{Kind: ksim.OpRead, Path: f, Bytes: kb(8)},
+			{Kind: ksim.OpTouch, Pages: 4}}
+		for i := 0; i < 4; i++ {
+			ops = append(ops,
+				ksim.Op{Kind: ksim.OpCompute, Ns: 9000},
+				ksim.Op{Kind: ksim.OpAlloc, Bytes: kb(1)})
+		}
+		for i := 0; i < 4; i++ {
+			ops = append(ops, ksim.Op{Kind: ksim.OpFree})
+		}
+		return append(ops,
+			ksim.Op{Kind: ksim.OpWrite, Path: w + "/doc.out", Bytes: kb(6)},
+			ksim.Op{Kind: ksim.OpClose, Path: f})
+	}},
+	{"ed", func(w string, r *rand.Rand) []ksim.Op {
+		f := w + "/notes.txt"
+		ops := []ksim.Op{binStat("ed"), {Kind: ksim.OpOpen, Path: f}}
+		for i := 0; i < 5; i++ {
+			ops = append(ops,
+				ksim.Op{Kind: ksim.OpRead, Path: f, Bytes: 512},
+				ksim.Op{Kind: ksim.OpCompute, Ns: 1200},
+				ksim.Op{Kind: ksim.OpWrite, Path: f, Bytes: 256})
+		}
+		return append(ops,
+			ksim.Op{Kind: ksim.OpStat, Path: f},
+			ksim.Op{Kind: ksim.OpClose, Path: f})
+	}},
+	{"spell", func(w string, r *rand.Rand) []ksim.Op {
+		dict := "/usr/dict/words" // shared, hot
+		f := w + "/doc.ms"
+		return []ksim.Op{binStat("spell"),
+			{Kind: ksim.OpOpen, Path: f},
+			{Kind: ksim.OpRead, Path: f, Bytes: kb(4)},
+			{Kind: ksim.OpStat, Path: dict},
+			{Kind: ksim.OpOpen, Path: dict},
+			{Kind: ksim.OpRead, Path: dict, Bytes: kb(2)},
+			{Kind: ksim.OpCompute, Ns: 7000},
+			{Kind: ksim.OpAlloc, Bytes: kb(4)},
+			{Kind: ksim.OpCompute, Ns: 4000},
+			{Kind: ksim.OpFree},
+			{Kind: ksim.OpClose, Path: dict},
+			{Kind: ksim.OpClose, Path: f}}
+	}},
+	{"ls", func(w string, r *rand.Rand) []ksim.Op {
+		return []ksim.Op{binStat("ls"),
+			{Kind: ksim.OpStat, Path: w},
+			{Kind: ksim.OpStat, Path: w + "/src.c"},
+			{Kind: ksim.OpStat, Path: w + "/data.txt"},
+			{Kind: ksim.OpStat, Path: w + "/doc.ms"},
+			{Kind: ksim.OpCompute, Ns: 900},
+			{Kind: ksim.OpWrite, Path: "/dev/tty", Bytes: 256}}
+	}},
+	{"cc", func(w string, r *rand.Rand) []ksim.Op {
+		f := w + "/src.c"
+		return []ksim.Op{binStat("cc"),
+			{Kind: ksim.OpOpen, Path: f},
+			{Kind: ksim.OpRead, Path: f, Bytes: kb(6)},
+			{Kind: ksim.OpTouch, Pages: 6},
+			{Kind: ksim.OpAlloc, Bytes: kb(8)},
+			{Kind: ksim.OpCompute, Ns: 14000},
+			{Kind: ksim.OpSyscall, Nr: ksim.SysBrk, Ns: 600},
+			{Kind: ksim.OpCompute, Ns: 8000},
+			{Kind: ksim.OpWrite, Path: w + "/a.out", Bytes: kb(10)},
+			{Kind: ksim.OpFree},
+			{Kind: ksim.OpClose, Path: f}}
+	}},
+	{"mail", func(w string, r *rand.Rand) []ksim.Op {
+		return []ksim.Op{binStat("mail"),
+			{Kind: ksim.OpOpen, Path: "/var/mail/user"},
+			{Kind: ksim.OpRead, Path: "/var/mail/user", Bytes: kb(1)},
+			{Kind: ksim.OpAlloc, Bytes: 256},
+			{Kind: ksim.OpCompute, Ns: 1800},
+			{Kind: ksim.OpWrite, Path: w + "/mbox", Bytes: kb(1)},
+			{Kind: ksim.OpFree},
+			{Kind: ksim.OpClose, Path: "/var/mail/user"}}
+	}},
+}
+
+// Params controls workload generation.
+type Params struct {
+	// ScriptsPerCPU scales the workload with the machine (SDET sweeps
+	// offered load; a fixed per-CPU load is the standard configuration).
+	ScriptsPerCPU int
+	// CommandsPerScript is the number of commands each script runs.
+	CommandsPerScript int
+	// Forks, when true, has each script fork a child process per command
+	// (shell-like), exercising process creation; otherwise commands run
+	// inline in the script process.
+	Forks bool
+	// Threads, when true, has each script spawn a thread per command
+	// instead — one multithreaded process per script, with its threads
+	// logging in parallel from whichever CPUs schedule them. Takes
+	// precedence over Forks.
+	Threads bool
+	// Seed drives the deterministic command shuffle.
+	Seed int64
+}
+
+// DefaultParams returns the standard workload: 4 scripts per CPU, 6
+// commands each.
+func DefaultParams() Params {
+	return Params{ScriptsPerCPU: 4, CommandsPerScript: 6, Seed: 42}
+}
+
+// Workload builds the SDET scripts for a cpus-processor run.
+func Workload(cpus int, p Params) []*ksim.Script {
+	if p.ScriptsPerCPU <= 0 {
+		p.ScriptsPerCPU = 4
+	}
+	if p.CommandsPerScript <= 0 {
+		p.CommandsPerScript = 6
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	n := p.ScriptsPerCPU * cpus
+	scripts := make([]*ksim.Script, n)
+	for i := range scripts {
+		wdir := fmt.Sprintf("/home/u%03d", i)
+		var ops []ksim.Op
+		for c := 0; c < p.CommandsPerScript; c++ {
+			cmd := commands[r.Intn(len(commands))]
+			cmdOps := cmd.build(wdir, r)
+			switch {
+			case p.Threads:
+				ops = append(ops, ksim.Op{Kind: ksim.OpSpawn, Child: &ksim.Script{
+					Name: cmd.name, Ops: cmdOps}})
+			case p.Forks:
+				ops = append(ops, ksim.Op{Kind: ksim.OpFork, Child: &ksim.Script{
+					Name: cmd.name, Ops: cmdOps}})
+			default:
+				ops = append(ops, cmdOps...)
+			}
+			ops = append(ops, ksim.Op{Kind: ksim.OpCompute, Ns: 1500}) // shell glue
+		}
+		scripts[i] = &ksim.Script{Name: fmt.Sprintf("sdet%03d", i), Ops: ops}
+	}
+	return scripts
+}

@@ -1,0 +1,194 @@
+package sdet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"k42trace/internal/core"
+	"k42trace/internal/ksim"
+	"k42trace/internal/stream"
+)
+
+// TraceMode selects the tracing configuration of a run.
+type TraceMode int
+
+const (
+	// TraceCompiledOut models a kernel built without trace statements:
+	// zero overhead, no data (the paper's compile-out option).
+	TraceCompiledOut TraceMode = iota
+	// TraceMasked is the paper's benchmarking configuration: trace
+	// statements compiled in but every major disabled, so each trace point
+	// costs only the mask check.
+	TraceMasked
+	// TraceOn logs everything (flight-recorder buffers).
+	TraceOn
+)
+
+func (m TraceMode) String() string {
+	switch m {
+	case TraceCompiledOut:
+		return "compiled-out"
+	case TraceMasked:
+		return "masked"
+	case TraceOn:
+		return "tracing"
+	}
+	return fmt.Sprintf("TraceMode(%d)", int(m))
+}
+
+// Point is one measurement of the Figure 3 sweep.
+type Point struct {
+	CPUs       int
+	Tuned      bool
+	Trace      TraceMode
+	Throughput float64 // scripts per virtual hour
+	MakespanNs uint64
+	Events     uint64
+}
+
+// Config describes a run to execute.
+type Config struct {
+	CPUs   int
+	Tuned  bool
+	Trace  TraceMode
+	Params Params
+	// Sample enables the PC sampler (virtual period ns; 0 off).
+	Sample uint64
+	// HWCSample enables hardware-counter sampling (virtual period ns).
+	HWCSample uint64
+	// IRQPeriod enables periodic timer interrupts (virtual ns; 0 off).
+	IRQPeriod uint64
+	// LockedTrace (with TraceOn) serializes events through a global
+	// trace-buffer lock — the pre-LTT-integration logging design, for the
+	// C4 comparison.
+	LockedTrace bool
+	// Stagger delays script i's start by i*Stagger virtual ns (the
+	// benchmark-startup coordination flaw of §4).
+	Stagger uint64
+}
+
+// Run executes one SDET run and returns its measurement. When cfg.Trace is
+// TraceOn and w is non-nil, the trace is streamed into w in trace-file
+// format.
+func Run(cfg Config, w io.Writer) (Point, error) {
+	kcfg := ksim.Config{
+		CPUs:            cfg.CPUs,
+		Tuned:           cfg.Tuned,
+		SamplePeriod:    cfg.Sample,
+		HWCSamplePeriod: cfg.HWCSample,
+		TimerIRQPeriod:  cfg.IRQPeriod,
+		Seed:            cfg.Params.Seed,
+		LockedTrace:     cfg.LockedTrace,
+		StaggerStart:    cfg.Stagger,
+	}
+	var (
+		k   *ksim.Kernel
+		tr  *core.Tracer
+		err error
+	)
+	wait := func() (stream.CaptureStats, error) { return stream.CaptureStats{}, nil }
+	switch cfg.Trace {
+	case TraceCompiledOut:
+		k, err = ksim.NewKernel(kcfg)
+	case TraceMasked:
+		k, tr, err = ksim.NewTracedKernel(kcfg, core.Config{BufWords: 4096, NumBufs: 4})
+		if err == nil {
+			tr.DisableAll()
+		}
+	case TraceOn:
+		tcfg := core.Config{BufWords: 16384, NumBufs: 8}
+		if w != nil {
+			tcfg.Mode = core.Stream
+		}
+		k, tr, err = ksim.NewTracedKernel(kcfg, tcfg)
+		if err == nil {
+			tr.EnableAll()
+			if w != nil {
+				wait = stream.CaptureAsync(tr, w)
+			}
+		}
+	default:
+		return Point{}, fmt.Errorf("sdet: unknown trace mode %d", cfg.Trace)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := k.Run(Workload(cfg.CPUs, cfg.Params))
+	if err != nil {
+		return Point{}, err
+	}
+	if tr != nil {
+		tr.Stop()
+	}
+	if _, err := wait(); err != nil {
+		return Point{}, err
+	}
+	return Point{
+		CPUs:       cfg.CPUs,
+		Tuned:      cfg.Tuned,
+		Trace:      cfg.Trace,
+		Throughput: res.Throughput(),
+		MakespanNs: res.MakespanNs,
+		Events:     res.TraceEvents,
+	}, nil
+}
+
+// Sweep runs the Figure 3 experiment: for each processor count, both the
+// Tuned and Coarse kernels, in the given trace mode.
+func Sweep(cpuCounts []int, trace TraceMode, p Params) ([]Point, error) {
+	var out []Point
+	for _, n := range cpuCounts {
+		for _, tuned := range []bool{true, false} {
+			pt, err := Run(Config{CPUs: n, Tuned: tuned, Trace: trace, Params: p}, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// FormatTable renders sweep points as the Figure 3 data series: throughput
+// (scripts/hour) versus processors, one column per configuration.
+func FormatTable(points []Point) string {
+	type key struct {
+		tuned bool
+		trace TraceMode
+	}
+	cols := []key{}
+	seen := map[key]bool{}
+	rows := map[int]map[key]float64{}
+	var cpus []int
+	for _, p := range points {
+		k := key{p.Tuned, p.Trace}
+		if !seen[k] {
+			seen[k] = true
+			cols = append(cols, k)
+		}
+		if rows[p.CPUs] == nil {
+			rows[p.CPUs] = map[key]float64{}
+			cpus = append(cpus, p.CPUs)
+		}
+		rows[p.CPUs][k] = p.Throughput
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "cpus")
+	for _, k := range cols {
+		name := "coarse"
+		if k.tuned {
+			name = "tuned"
+		}
+		fmt.Fprintf(&b, " %18s", fmt.Sprintf("%s/%s", name, k.trace))
+	}
+	b.WriteByte('\n')
+	for _, n := range cpus {
+		fmt.Fprintf(&b, "%-6d", n)
+		for _, k := range cols {
+			fmt.Fprintf(&b, " %18.0f", rows[n][k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// BlockStream reads the trace format sequentially from a non-seekable
+// source — a pipe or network connection. The wire protocol is identical to
+// the file format, so a collected stream can be written straight to disk
+// and later opened with Reader for random access.
+type BlockStream struct {
+	r    *bufio.Reader
+	meta Meta
+	buf  []byte
+	n    int
+}
+
+// NewBlockStream reads and validates the stream header.
+func NewBlockStream(r io.Reader) (*BlockStream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, fileHdrWords*8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("stream: reading stream header: %w", err)
+	}
+	meta, err := decodeFileHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStream{
+		r:    br,
+		meta: meta,
+		buf:  make([]byte, blockStride(meta.BufWords)),
+	}, nil
+}
+
+// Meta returns the stream metadata.
+func (s *BlockStream) Meta() Meta { return s.meta }
+
+// Blocks returns the number of blocks read so far.
+func (s *BlockStream) Blocks() int { return s.n }
+
+// Next reads the next block. It returns io.EOF after the final block; a
+// block cut off mid-transfer returns io.ErrUnexpectedEOF.
+func (s *BlockStream) Next() (BlockHeader, []uint64, error) {
+	if _, err := io.ReadFull(s.r, s.buf); err != nil {
+		if err == io.EOF {
+			return BlockHeader{}, nil, io.EOF
+		}
+		return BlockHeader{}, nil, fmt.Errorf("stream: reading block %d: %w", s.n, err)
+	}
+	h, err := decodeBlockHeader(s.buf)
+	if err != nil {
+		return BlockHeader{}, nil, err
+	}
+	if h.NWords > s.meta.BufWords {
+		return BlockHeader{}, nil, fmt.Errorf("stream: block %d claims %d words", s.n, h.NWords)
+	}
+	words := bytesToWords(s.buf[blockHdrWords*8 : (blockHdrWords+h.NWords)*8])
+	s.n++
+	return h, words, nil
+}

@@ -1,0 +1,160 @@
+// Package stream defines the on-disk trace file format and its reader and
+// writer. The format preserves the paper's central file property: the
+// trace is a sequence of fixed-stride buffer blocks, each beginning at an
+// alignment boundary with a decodable event (buffers never split events),
+// so tools can seek to any block in a multi-gigabyte trace and start
+// interpreting events there — "random access to the data stream".
+//
+// Layout (all little-endian 64-bit words):
+//
+//	file header (8 words):
+//	    magic "K42TRACE" | version | bufWords | cpus | clockHz | reserved*3
+//	block 0, block 1, ... (fixed stride = blockHdrWords + bufWords words):
+//	    block magic | cpu/flags/nWords | seq | committed | data[bufWords]
+//
+// Partial buffers (from a flush) are zero-padded to the stride so block k
+// always lives at a computable offset.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FileMagic begins every trace file ("K42TRACE" as a little-endian word).
+const FileMagic uint64 = 0x454341525432344B
+
+// BlockMagic begins every block, letting tools resynchronize on a
+// corrupted file.
+const BlockMagic uint64 = 0x314352545F32344B // "K42_TRC1"
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	fileHdrWords  = 8
+	blockHdrWords = 4
+)
+
+// Block flags.
+const (
+	// FlagPartial marks a buffer flushed before it filled.
+	FlagPartial uint16 = 1 << iota
+	// FlagAnomalous marks a buffer whose commit count disagreed with its
+	// size when written out — the per-buffer-count garble report of §3.1.
+	FlagAnomalous
+)
+
+// Meta describes a trace file.
+type Meta struct {
+	// BufWords is the buffer (block payload) size in 64-bit words; it is
+	// the random-access stride of the file.
+	BufWords int
+	// CPUs is the number of processor slots that produced the trace.
+	CPUs int
+	// ClockHz is the tick rate of the trace timestamps.
+	ClockHz uint64
+}
+
+// BlockHeader describes one buffer block.
+type BlockHeader struct {
+	CPU   int
+	Flags uint16
+	// NWords is the number of valid data words (== BufWords except for
+	// partial blocks).
+	NWords int
+	// Seq is the buffer's generation number on its CPU.
+	Seq uint64
+	// Committed is the per-buffer commit count recorded at write-out.
+	Committed uint64
+}
+
+// Partial reports whether the block was flushed before it filled.
+func (h BlockHeader) Partial() bool { return h.Flags&FlagPartial != 0 }
+
+// Anomalous reports whether the writer flagged a commit-count mismatch.
+func (h BlockHeader) Anomalous() bool { return h.Flags&FlagAnomalous != 0 }
+
+// putWord appends a word to b in little-endian order.
+func putWord(b []byte, i int, w uint64) { binary.LittleEndian.PutUint64(b[i*8:], w) }
+
+func getWord(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+
+func encodeFileHeader(m Meta) []byte {
+	b := make([]byte, fileHdrWords*8)
+	putWord(b, 0, FileMagic)
+	putWord(b, 1, Version)
+	putWord(b, 2, uint64(m.BufWords))
+	putWord(b, 3, uint64(m.CPUs))
+	putWord(b, 4, m.ClockHz)
+	return b
+}
+
+func decodeFileHeader(b []byte) (Meta, error) {
+	if len(b) < fileHdrWords*8 {
+		return Meta{}, fmt.Errorf("stream: short file header (%d bytes)", len(b))
+	}
+	if getWord(b, 0) != FileMagic {
+		return Meta{}, fmt.Errorf("stream: bad file magic %#x", getWord(b, 0))
+	}
+	if v := getWord(b, 1); v != Version {
+		return Meta{}, fmt.Errorf("stream: unsupported version %d", v)
+	}
+	m := Meta{
+		BufWords: int(getWord(b, 2)),
+		CPUs:     int(getWord(b, 3)),
+		ClockHz:  getWord(b, 4),
+	}
+	if m.BufWords < 16 || m.CPUs < 1 {
+		return Meta{}, fmt.Errorf("stream: implausible header %+v", m)
+	}
+	return m, nil
+}
+
+func encodeBlockHeader(h BlockHeader) []byte {
+	b := make([]byte, blockHdrWords*8)
+	putWord(b, 0, BlockMagic)
+	putWord(b, 1, uint64(uint16(h.CPU))|uint64(h.Flags)<<16|uint64(uint32(h.NWords))<<32)
+	putWord(b, 2, h.Seq)
+	putWord(b, 3, h.Committed)
+	return b
+}
+
+func decodeBlockHeader(b []byte) (BlockHeader, error) {
+	if len(b) < blockHdrWords*8 {
+		return BlockHeader{}, fmt.Errorf("stream: short block header")
+	}
+	if getWord(b, 0) != BlockMagic {
+		return BlockHeader{}, fmt.Errorf("stream: bad block magic %#x", getWord(b, 0))
+	}
+	w1 := getWord(b, 1)
+	return BlockHeader{
+		CPU:       int(uint16(w1)),
+		Flags:     uint16(w1 >> 16),
+		NWords:    int(uint32(w1 >> 32)),
+		Seq:       getWord(b, 2),
+		Committed: getWord(b, 3),
+	}, nil
+}
+
+// wordsToBytes serializes words into a byte slice (little-endian).
+func wordsToBytes(dst []byte, words []uint64) {
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(dst[i*8:], w)
+	}
+}
+
+// bytesToWords parses little-endian words.
+func bytesToWords(b []byte) []uint64 {
+	words := make([]uint64, len(b)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return words
+}
+
+// blockStride returns a block's on-disk size in bytes.
+func blockStride(bufWords int) int64 { return int64(blockHdrWords+bufWords) * 8 }
+
+var errShortWrite = io.ErrShortWrite

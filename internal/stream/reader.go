@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// Reader provides random access to a trace file. Because blocks have a
+// fixed stride and every block starts at an event boundary, Block(k) is a
+// single seek — "trace analysis tools can skip to any of the alignment
+// points in a large trace and can begin interpreting events from that
+// point" — and time-based access is a binary search over a small index
+// built from block headers alone, without reading event data.
+type Reader struct {
+	r      io.ReaderAt
+	meta   Meta
+	nBlk   int
+	stride int64
+}
+
+// NewReader validates the file header and returns a Reader. size is the
+// file size in bytes (e.g. from os.FileInfo).
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	hdr := make([]byte, fileHdrWords*8)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("stream: reading file header: %w", err)
+	}
+	meta, err := decodeFileHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	stride := blockStride(meta.BufWords)
+	body := size - fileHdrWords*8
+	if body < 0 || body%stride != 0 {
+		return nil, fmt.Errorf("stream: file size %d not a whole number of blocks", size)
+	}
+	return &Reader{r: r, meta: meta, nBlk: int(body / stride), stride: stride}, nil
+}
+
+// Meta returns the file metadata.
+func (rd *Reader) Meta() Meta { return rd.meta }
+
+// NumBlocks returns the number of buffer blocks in the file.
+func (rd *Reader) NumBlocks() int { return rd.nBlk }
+
+// Header reads just the k-th block's header — cheap (32 bytes), used to
+// build indexes without touching event data.
+func (rd *Reader) Header(k int) (BlockHeader, error) {
+	if k < 0 || k >= rd.nBlk {
+		return BlockHeader{}, fmt.Errorf("stream: block %d out of range [0,%d)", k, rd.nBlk)
+	}
+	b := make([]byte, blockHdrWords*8)
+	if _, err := rd.r.ReadAt(b, fileHdrWords*8+int64(k)*rd.stride); err != nil {
+		return BlockHeader{}, err
+	}
+	return decodeBlockHeader(b)
+}
+
+// Block reads the k-th block: header plus its valid data words. This is
+// the random-access primitive; it costs one seek regardless of k.
+func (rd *Reader) Block(k int) (BlockHeader, []uint64, error) {
+	h, err := rd.Header(k)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.NWords > rd.meta.BufWords {
+		return h, nil, fmt.Errorf("stream: block %d claims %d words > bufWords", k, h.NWords)
+	}
+	b := make([]byte, h.NWords*8)
+	off := fileHdrWords*8 + int64(k)*rd.stride + blockHdrWords*8
+	if _, err := rd.r.ReadAt(b, off); err != nil {
+		return h, nil, err
+	}
+	return h, bytesToWords(b), nil
+}
+
+// Events decodes the k-th block.
+func (rd *Reader) Events(k int) ([]event.Event, core.DecodeStats, error) {
+	h, words, err := rd.Block(k)
+	if err != nil {
+		return nil, core.DecodeStats{}, err
+	}
+	evs, st := core.DecodeBuffer(h.CPU, words)
+	return evs, st, nil
+}
+
+// BlockTime returns the start time of block k: the full timestamp in its
+// leading clock anchor. It reads only the anchor words, not the whole
+// block.
+func (rd *Reader) BlockTime(k int) (uint64, error) {
+	if k < 0 || k >= rd.nBlk {
+		return 0, fmt.Errorf("stream: block %d out of range", k)
+	}
+	b := make([]byte, 16) // anchor header + full timestamp
+	off := fileHdrWords*8 + int64(k)*rd.stride + blockHdrWords*8
+	if _, err := rd.r.ReadAt(b, off); err != nil {
+		return 0, err
+	}
+	h := event.Header(getWord(b, 0))
+	if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && h.Len() >= 2 {
+		return getWord(b, 1), nil
+	}
+	// No anchor (garbled head): fall back to the 32-bit stamp.
+	return uint64(h.Timestamp()), nil
+}
+
+// IndexEntry locates one block of one CPU's stream in time.
+type IndexEntry struct {
+	Block int
+	Seq   uint64
+	Start uint64 // full timestamp of the block's first event
+}
+
+// Index is a per-CPU time index over the file's blocks, built from block
+// headers and anchors only.
+type Index struct {
+	PerCPU [][]IndexEntry
+}
+
+// BuildIndex scans block headers (not data) and returns the per-CPU time
+// index used for seeking.
+func (rd *Reader) BuildIndex() (*Index, error) {
+	ix := &Index{PerCPU: make([][]IndexEntry, rd.meta.CPUs)}
+	for k := 0; k < rd.nBlk; k++ {
+		h, err := rd.Header(k)
+		if err != nil {
+			return nil, err
+		}
+		if h.CPU < 0 || h.CPU >= rd.meta.CPUs {
+			return nil, fmt.Errorf("stream: block %d has CPU %d out of range", k, h.CPU)
+		}
+		start, err := rd.BlockTime(k)
+		if err != nil {
+			return nil, err
+		}
+		ix.PerCPU[h.CPU] = append(ix.PerCPU[h.CPU],
+			IndexEntry{Block: k, Seq: h.Seq, Start: start})
+	}
+	return ix, nil
+}
+
+// SeekTime returns, per CPU, the index of the first block that could
+// contain events at or after time t (i.e. the last block starting at or
+// before t). This is the "jump to the middle 5 seconds of a gigabyte
+// trace" operation: one binary search per CPU over the header index.
+func (ix *Index) SeekTime(t uint64) []int {
+	out := make([]int, len(ix.PerCPU))
+	for cpu, entries := range ix.PerCPU {
+		out[cpu] = -1
+		if len(entries) == 0 {
+			continue
+		}
+		// First entry with Start > t, then step back one.
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].Start > t })
+		if i == 0 {
+			out[cpu] = entries[0].Block
+			continue
+		}
+		out[cpu] = entries[i-1].Block
+	}
+	return out
+}
+
+// ReadAll decodes the whole file and returns events merged across CPUs in
+// timestamp order (stable within equal stamps: by CPU then stream order).
+// Tools use this for whole-trace analysis; interactive tools use the index
+// plus EventsBetween for large files.
+func (rd *Reader) ReadAll() ([]event.Event, core.DecodeStats, error) {
+	var (
+		all []event.Event
+		st  core.DecodeStats
+	)
+	for k := 0; k < rd.nBlk; k++ {
+		evs, s, err := rd.Events(k)
+		if err != nil {
+			return nil, st, err
+		}
+		all = append(all, evs...)
+		st.Events += s.Events
+		st.FillerEvents += s.FillerEvents
+		st.FillerWords += s.FillerWords
+		st.SkippedWords += s.SkippedWords
+	}
+	sortEvents(all)
+	return all, st, nil
+}
+
+// EventsBetween returns events with from <= Time < to, merged across CPUs,
+// using the index to touch only the necessary blocks.
+func (rd *Reader) EventsBetween(ix *Index, from, to uint64) ([]event.Event, error) {
+	var out []event.Event
+	for cpu, entries := range ix.PerCPU {
+		_ = cpu
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].Start > from })
+		if i > 0 {
+			i--
+		}
+		for ; i < len(entries); i++ {
+			if entries[i].Start >= to {
+				break
+			}
+			evs, _, err := rd.Events(entries[i].Block)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range evs {
+				if e.Time >= from && e.Time < to {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	sortEvents(out)
+	return out, nil
+}
+
+// sortEvents sorts by time, breaking ties by CPU (stable keeps per-CPU
+// stream order).
+func sortEvents(evs []event.Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].CPU < evs[j].CPU
+	})
+}
+
+// Anomalies returns the headers of all blocks flagged anomalous — the
+// post-processing side of garble detection.
+func (rd *Reader) Anomalies() ([]BlockHeader, error) {
+	var out []BlockHeader
+	for k := 0; k < rd.nBlk; k++ {
+		h, err := rd.Header(k)
+		if err != nil {
+			return nil, err
+		}
+		if h.Anomalous() {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}

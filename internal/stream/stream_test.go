@@ -1,0 +1,354 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// runCapture logs n events of mixed sizes on each of cpus slots through a
+// Stream tracer, captures them into an in-memory trace file, and returns
+// the file bytes.
+func runCapture(t *testing.T, cpus, bufWords, n int) []byte {
+	t.Helper()
+	tr := core.MustNew(core.Config{
+		CPUs: cpus, BufWords: bufWords, NumBufs: 4,
+		Mode: core.Stream, Clock: clock.NewManual(1),
+	})
+	tr.EnableAll()
+	var buf bytes.Buffer
+	wait := CaptureAsync(tr, &buf)
+	for i := 0; i < n; i++ {
+		c := tr.CPU(i % cpus)
+		switch i % 3 {
+		case 0:
+			c.Log1(event.MajorTest, 1, uint64(i))
+		case 1:
+			c.Log2(event.MajorTest, 2, uint64(i), uint64(i)*2)
+		default:
+			c.Log4(event.MajorTest, 4, uint64(i), 1, 2, 3)
+		}
+	}
+	tr.Stop()
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newReader(t *testing.T, data []byte) *Reader {
+	t.Helper()
+	rd, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+func TestFileHeaderRoundTrip(t *testing.T) {
+	m := Meta{BufWords: 1024, CPUs: 8, ClockHz: 1e9}
+	got, err := decodeFileHeader(encodeFileHeader(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("got %+v want %+v", got, m)
+	}
+}
+
+func TestFileHeaderRejects(t *testing.T) {
+	m := Meta{BufWords: 1024, CPUs: 8, ClockHz: 1e9}
+	b := encodeFileHeader(m)
+	b[0] ^= 0xff
+	if _, err := decodeFileHeader(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b = encodeFileHeader(m)
+	putWord(b, 1, 99)
+	if _, err := decodeFileHeader(b); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := decodeFileHeader(b[:10]); err == nil {
+		t.Error("short header accepted")
+	}
+	putWord(b, 1, Version)
+	putWord(b, 2, 1) // implausible bufWords
+	if _, err := decodeFileHeader(b); err == nil {
+		t.Error("implausible bufWords accepted")
+	}
+}
+
+func TestBlockHeaderRoundTrip(t *testing.T) {
+	h := BlockHeader{CPU: 3, Flags: FlagPartial | FlagAnomalous, NWords: 777,
+		Seq: 123456, Committed: 770}
+	got, err := decodeBlockHeader(encodeBlockHeader(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("got %+v want %+v", got, h)
+	}
+	if !got.Partial() || !got.Anomalous() {
+		t.Error("flag accessors wrong")
+	}
+	b := encodeBlockHeader(h)
+	b[0] ^= 0xff
+	if _, err := decodeBlockHeader(b); err == nil {
+		t.Error("bad block magic accepted")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Meta{BufWords: 4, CPUs: 1}); err == nil {
+		t.Error("tiny BufWords accepted")
+	}
+	if _, err := NewWriter(&buf, Meta{BufWords: 64, CPUs: 0}); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+	wr, err := NewWriter(&buf, Meta{BufWords: 64, CPUs: 1, ClockHz: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized buffer rejected.
+	if err := wr.WriteSealed(core.Sealed{Words: make([]uint64, 65)}); err == nil {
+		t.Error("oversized buffer accepted")
+	}
+}
+
+func TestCaptureAndReadAll(t *testing.T) {
+	const n = 500
+	data := runCapture(t, 2, 64, n)
+	rd := newReader(t, data)
+	if rd.Meta().CPUs != 2 || rd.Meta().BufWords != 64 || rd.Meta().ClockHz != 1e9 {
+		t.Errorf("meta %+v", rd.Meta())
+	}
+	evs, st, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Garbled() {
+		t.Fatalf("garbled: %+v", st)
+	}
+	var payloads []uint64
+	var prev uint64
+	for _, e := range evs {
+		if e.Time < prev {
+			t.Fatal("merged events not time-sorted")
+		}
+		prev = e.Time
+		if e.Major() == event.MajorTest {
+			payloads = append(payloads, e.Data[0])
+		}
+	}
+	if len(payloads) != n {
+		t.Fatalf("recovered %d events, want %d", len(payloads), n)
+	}
+	// With a strictly increasing shared Manual clock, merged time order
+	// equals logging order, so payloads come back 0..n-1.
+	for i, p := range payloads {
+		if p != uint64(i) {
+			t.Fatalf("payload[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestRandomAccessMatchesSequential(t *testing.T) {
+	data := runCapture(t, 2, 64, 400)
+	rd := newReader(t, data)
+	if rd.NumBlocks() < 4 {
+		t.Fatalf("want several blocks, got %d", rd.NumBlocks())
+	}
+	// Read blocks in reverse; contents must match the forward pass.
+	type blk struct {
+		h BlockHeader
+		w []uint64
+	}
+	fwd := make([]blk, rd.NumBlocks())
+	for k := 0; k < rd.NumBlocks(); k++ {
+		h, w, err := rd.Block(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd[k] = blk{h, w}
+	}
+	for k := rd.NumBlocks() - 1; k >= 0; k-- {
+		h, w, err := rd.Block(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != fwd[k].h || len(w) != len(fwd[k].w) {
+			t.Fatalf("block %d differs on random access", k)
+		}
+		for i := range w {
+			if w[i] != fwd[k].w[i] {
+				t.Fatalf("block %d word %d differs", k, i)
+			}
+		}
+	}
+	// Every block decodes from its start: the alignment-boundary property.
+	for k := 0; k < rd.NumBlocks(); k++ {
+		evs, st, err := rd.Events(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Garbled() {
+			t.Fatalf("block %d garbled", k)
+		}
+		if len(evs) == 0 || evs[0].Minor() != event.CtrlClockAnchor {
+			t.Fatalf("block %d does not begin with an anchor", k)
+		}
+	}
+	if _, _, err := rd.Block(rd.NumBlocks()); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if _, err := rd.Header(-1); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestIndexAndSeekTime(t *testing.T) {
+	data := runCapture(t, 2, 64, 600)
+	rd := newReader(t, data)
+	ix, err := rd.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index entries must be time-ordered per CPU with increasing seqs.
+	for cpu, entries := range ix.PerCPU {
+		if len(entries) == 0 {
+			t.Fatalf("cpu %d has no blocks", cpu)
+		}
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Start < entries[i-1].Start {
+				t.Fatalf("cpu %d index not time-ordered", cpu)
+			}
+			if entries[i].Seq != entries[i-1].Seq+1 {
+				t.Fatalf("cpu %d seq gap at %d", cpu, i)
+			}
+		}
+	}
+	// Seek to the time of a middle block: must return that block (or an
+	// earlier one containing the time).
+	mid := ix.PerCPU[0][len(ix.PerCPU[0])/2]
+	blocks := ix.SeekTime(mid.Start)
+	if blocks[0] != mid.Block {
+		t.Errorf("SeekTime(%d) cpu0 = block %d, want %d", mid.Start, blocks[0], mid.Block)
+	}
+	// Seeking before the first event returns the first block.
+	blocks = ix.SeekTime(0)
+	if blocks[0] != ix.PerCPU[0][0].Block {
+		t.Errorf("SeekTime(0) = %d", blocks[0])
+	}
+	// Seeking past the end returns the last block.
+	blocks = ix.SeekTime(1 << 62)
+	last := ix.PerCPU[0][len(ix.PerCPU[0])-1]
+	if blocks[0] != last.Block {
+		t.Errorf("SeekTime(max) = %d want %d", blocks[0], last.Block)
+	}
+}
+
+func TestEventsBetween(t *testing.T) {
+	data := runCapture(t, 2, 64, 600)
+	rd := newReader(t, data)
+	ix, err := rd.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := all[len(all)/4].Time
+	hi := all[3*len(all)/4].Time
+	got, err := rd.EventsBetween(ix, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []event.Event
+	for _, e := range all {
+		if e.Time >= lo && e.Time < hi {
+			want = append(want, e)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EventsBetween returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time || got[i].Header != want[i].Header {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestPartialAndAnomalyFlags(t *testing.T) {
+	tr := core.MustNew(core.Config{CPUs: 1, BufWords: 32, NumBufs: 2,
+		Mode: core.Stream, Clock: clock.NewManual(1)})
+	tr.EnableAll()
+	var buf bytes.Buffer
+	wait := CaptureAsync(tr, &buf)
+	c := tr.CPU(0)
+	c.Log1(event.MajorTest, 1, 1)
+	c.ReserveOnly(event.MajorTest, 2, 2) // killed mid-log
+	c.Log1(event.MajorTest, 3, 3)
+	tr.Stop()
+	st, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Anomalies == 0 {
+		t.Error("capture did not flag the anomaly")
+	}
+	rd := newReader(t, buf.Bytes())
+	anoms, err := rd.Anomalies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) != 1 {
+		t.Fatalf("got %d anomalous blocks, want 1", len(anoms))
+	}
+	if !anoms[0].Partial() {
+		t.Error("the flushed current buffer should be partial")
+	}
+	// The block after the garble hole still yields the trailing event.
+	evs, dst, err := rd.Events(anoms[0].Seq2Block(rd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.SkippedWords == 0 {
+		t.Error("decode should skip the unwritten reservation")
+	}
+	found := false
+	for _, e := range evs {
+		if e.Major() == event.MajorTest && e.Minor() == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("event after hole not recovered")
+	}
+}
+
+// Seq2Block locates the file block carrying this header (test helper).
+func (h BlockHeader) Seq2Block(rd *Reader) int {
+	for k := 0; k < rd.NumBlocks(); k++ {
+		g, err := rd.Header(k)
+		if err == nil && g.CPU == h.CPU && g.Seq == h.Seq {
+			return k
+		}
+	}
+	return -1
+}
+
+func TestReaderRejectsTruncatedFile(t *testing.T) {
+	data := runCapture(t, 1, 64, 200)
+	if _, err := NewReader(bytes.NewReader(data[:len(data)-5]), int64(len(data)-5)); err == nil {
+		t.Error("truncated file accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(data[:10]), 10); err == nil {
+		t.Error("tiny file accepted")
+	}
+}

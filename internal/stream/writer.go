@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"k42trace/internal/core"
+)
+
+// Writer serializes sealed buffers into the trace file format. It is safe
+// for use from one goroutine (the usual pattern: one drain goroutine per
+// tracer, consuming the Sealed channel).
+type Writer struct {
+	w      io.Writer
+	meta   Meta
+	blocks int
+	anoms  int
+	buf    []byte // reusable block encoding buffer
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if meta.BufWords < 16 {
+		return nil, fmt.Errorf("stream: BufWords %d too small", meta.BufWords)
+	}
+	if meta.CPUs < 1 {
+		return nil, fmt.Errorf("stream: CPUs %d invalid", meta.CPUs)
+	}
+	if _, err := w.Write(encodeFileHeader(meta)); err != nil {
+		return nil, fmt.Errorf("stream: writing file header: %w", err)
+	}
+	return &Writer{
+		w:    w,
+		meta: meta,
+		buf:  make([]byte, blockStride(meta.BufWords)),
+	}, nil
+}
+
+// Meta returns the file metadata.
+func (wr *Writer) Meta() Meta { return wr.meta }
+
+// Blocks returns the number of blocks written so far.
+func (wr *Writer) Blocks() int { return wr.blocks }
+
+// Anomalies returns the number of blocks written with the anomaly flag —
+// the write-out side of the paper's per-buffer-count garble detection.
+func (wr *Writer) Anomalies() int { return wr.anoms }
+
+// WriteSealed writes one sealed buffer as a block. Partial buffers are
+// zero-padded to the stride. The anomaly flag is set when the buffer's
+// commit count disagrees with its data size ("report an anomaly if they do
+// not match").
+func (wr *Writer) WriteSealed(s core.Sealed) error {
+	if len(s.Words) > wr.meta.BufWords {
+		return fmt.Errorf("stream: buffer of %d words exceeds file bufWords %d",
+			len(s.Words), wr.meta.BufWords)
+	}
+	h := BlockHeader{
+		CPU:       s.CPU,
+		NWords:    len(s.Words),
+		Seq:       s.Seq,
+		Committed: s.Committed,
+	}
+	if s.Partial {
+		h.Flags |= FlagPartial
+	}
+	if s.Anomalous() {
+		h.Flags |= FlagAnomalous
+		wr.anoms++
+	}
+	return wr.writeBlock(h, s.Words)
+}
+
+// WriteBlock writes a raw block (used by relays that already carry block
+// headers).
+func (wr *Writer) WriteBlock(h BlockHeader, words []uint64) error {
+	if len(words) > wr.meta.BufWords {
+		return fmt.Errorf("stream: block of %d words exceeds bufWords %d",
+			len(words), wr.meta.BufWords)
+	}
+	if h.Anomalous() {
+		wr.anoms++
+	}
+	return wr.writeBlock(h, words)
+}
+
+func (wr *Writer) writeBlock(h BlockHeader, words []uint64) error {
+	copy(wr.buf, encodeBlockHeader(h))
+	wordsToBytes(wr.buf[blockHdrWords*8:], words)
+	// Zero-pad partial blocks to the fixed stride.
+	for i := (blockHdrWords + len(words)) * 8; i < len(wr.buf); i++ {
+		wr.buf[i] = 0
+	}
+	n, err := wr.w.Write(wr.buf)
+	if err != nil {
+		return fmt.Errorf("stream: writing block %d: %w", wr.blocks, err)
+	}
+	if n != len(wr.buf) {
+		return errShortWrite
+	}
+	wr.blocks++
+	return nil
+}
+
+// CaptureStats summarizes a Capture run.
+type CaptureStats struct {
+	Blocks    int
+	Anomalies int
+}
+
+// Capture drains a tracer's Sealed channel into a trace file until the
+// channel closes (i.e. until tracer.Stop). It releases each buffer back to
+// the tracer after writing, which is what allows the logging side to run
+// lossless under the Block policy. This is the relayfs-style "code
+// responsible for writing the data (to a network stream, file, etc.)".
+func Capture(tr *core.Tracer, w io.Writer) (CaptureStats, error) {
+	wr, err := NewWriter(w, Meta{
+		BufWords: tr.BufWords(),
+		CPUs:     tr.NumCPUs(),
+		ClockHz:  tr.Clock().Hz(),
+	})
+	if err != nil {
+		return CaptureStats{}, err
+	}
+	for s := range tr.Sealed() {
+		err := wr.WriteSealed(s)
+		tr.Release(s)
+		if err != nil {
+			return CaptureStats{wr.Blocks(), wr.Anomalies()}, err
+		}
+	}
+	return CaptureStats{wr.Blocks(), wr.Anomalies()}, nil
+}
+
+// CaptureAsync runs Capture in a goroutine and returns a wait function
+// that reports the result after tracer.Stop has been called.
+func CaptureAsync(tr *core.Tracer, w io.Writer) (wait func() (CaptureStats, error)) {
+	var (
+		st   CaptureStats
+		err  error
+		once sync.Once
+		done = make(chan struct{})
+	)
+	go func() {
+		st, err = Capture(tr, w)
+		close(done)
+	}()
+	return func() (CaptureStats, error) {
+		once.Do(func() { <-done })
+		return st, err
+	}
+}

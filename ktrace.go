@@ -1,0 +1,298 @@
+// Package ktrace is a Go implementation of the unified tracing
+// infrastructure described in "Efficient, Unified, and Scalable
+// Performance Monitoring for Multiprocessor Operating Systems" (Wisniewski
+// and Rosenberg, SC 2003) — the K42 tracing facility whose techniques were
+// later adopted by the Linux Trace Toolkit and relayfs.
+//
+// The library provides:
+//
+//   - Lockless logging of variable-length events into per-processor
+//     buffers: space is reserved with a compare-and-swap on a per-CPU
+//     index, and the timestamp is re-read on every retry so per-CPU
+//     streams carry monotonically non-decreasing timestamps.
+//   - A single 64-bit trace mask over 64 major event classes, cheap
+//     enough that trace statements stay compiled in always and are
+//     enabled dynamically.
+//   - Random access to large traces: events never cross buffer
+//     (alignment-boundary) edges; filler events pad buffer tails, so
+//     tools can seek to any boundary of a multi-gigabyte trace and start
+//     decoding.
+//   - Per-buffer commit counts that detect garbled buffers (a writer
+//     killed between reserving and logging).
+//   - Self-describing events: each (major, minor) pair registers a token
+//     format and a printf-like display string, so generic tools can list
+//     and render any event.
+//   - Flight-recorder (circular) and streaming modes, with file, and
+//     network (relayfs-style) transports, plus the paper's analysis
+//     tools: event listing, lock-contention analysis, statistical
+//     execution profiles, fine-grained time breakdowns, and per-CPU
+//     timeline rendering.
+//
+// # Quick start
+//
+//	tr := ktrace.MustNew(ktrace.Config{CPUs: 4})
+//	tr.EnableAll()
+//	cpu := tr.CPU(0)                       // per-processor logging handle
+//	cpu.Log1(ktrace.MajorUser, 7, 42)      // one-payload-word event
+//	events, _ := tr.Dump(0)                // flight-recorder readout
+//
+// For streaming to disk, create the tracer with Mode: ktrace.Stream and
+// drain it with ktrace.Capture; open the result with ktrace.OpenTraceFile
+// or ktrace.NewReader and feed the decoded events to ktrace.BuildTrace for
+// analysis.
+//
+// The repository also contains, under internal/, the substrates used to
+// reproduce the paper's evaluation: a deterministic multiprocessor OS
+// simulator (internal/ksim), an SDET-style throughput workload
+// (internal/sdet), and the comparison loggers (internal/baseline).
+package ktrace
+
+import (
+	"io"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/relay"
+	"k42trace/internal/stream"
+)
+
+// --- Core tracer -------------------------------------------------------------
+
+// Tracer is the unified tracing facility; see core.Tracer.
+type Tracer = core.Tracer
+
+// Config configures a Tracer.
+type Config = core.Config
+
+// CPU is a per-processor logging handle.
+type CPU = core.CPU
+
+// Mode selects buffer management.
+type Mode = core.Mode
+
+// Buffer-management modes.
+const (
+	FlightRecorder = core.FlightRecorder
+	Stream         = core.Stream
+)
+
+// OnFull is the stream-mode full-buffer policy.
+type OnFull = core.OnFull
+
+// Full-buffer policies.
+const (
+	Block = core.Block
+	Drop  = core.Drop
+)
+
+// Sealed is a completed buffer delivered to stream consumers.
+type Sealed = core.Sealed
+
+// Stats is a snapshot of tracing counters.
+type Stats = core.Stats
+
+// DecodeStats reports what a buffer decode encountered.
+type DecodeStats = core.DecodeStats
+
+// DumpInfo describes a flight-recorder dump.
+type DumpInfo = core.DumpInfo
+
+// New creates a Tracer; the zero mask means tracing starts disabled.
+func New(cfg Config) (*Tracer, error) { return core.New(cfg) }
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Tracer { return core.MustNew(cfg) }
+
+// DecodeBuffer decodes one buffer's raw words.
+func DecodeBuffer(cpu int, words []uint64) ([]Event, DecodeStats) {
+	return core.DecodeBuffer(cpu, words)
+}
+
+// CrashDump is a decoded post-mortem image of a tracer's memory.
+type CrashDump = core.CrashDump
+
+// ReadCrashDump parses a crash-dump image written by Tracer.WriteCrashDump.
+func ReadCrashDump(r io.Reader) (*CrashDump, error) { return core.ReadCrashDump(r) }
+
+// Redact copies a buffer with events outside the visibility mask replaced
+// by same-length fillers (per-user trace views; see core.Redact).
+func Redact(words []uint64, visible uint64) []uint64 { return core.Redact(words, visible) }
+
+// VisibleMask builds a visibility mask from major classes.
+func VisibleMask(majors ...Major) uint64 { return core.VisibleMask(majors...) }
+
+// --- Events ------------------------------------------------------------------
+
+// Event is a decoded trace event.
+type Event = event.Event
+
+// Header is the packed first word of an event.
+type Header = event.Header
+
+// Major is a 6-bit event class; one bit of the trace mask each.
+type Major = event.Major
+
+// Predeclared major classes.
+const (
+	MajorControl   = event.MajorControl
+	MajorMem       = event.MajorMem
+	MajorProc      = event.MajorProc
+	MajorSched     = event.MajorSched
+	MajorLock      = event.MajorLock
+	MajorIO        = event.MajorIO
+	MajorIPC       = event.MajorIPC
+	MajorException = event.MajorException
+	MajorUser      = event.MajorUser
+	MajorSyscall   = event.MajorSyscall
+	MajorSample    = event.MajorSample
+	MajorAlloc     = event.MajorAlloc
+	MajorNet       = event.MajorNet
+	MajorTest      = event.MajorTest
+	NumMajors      = event.NumMajors
+)
+
+// Registry maps (major, minor) to self-describing event records.
+type Registry = event.Registry
+
+// Desc is one self-describing event record.
+type Desc = event.Desc
+
+// Value is a decoded payload field.
+type Value = event.Value
+
+// Token describes one payload field's width.
+type Token = event.Token
+
+// DefaultRegistry returns the process-wide event registry.
+func DefaultRegistry() *Registry { return event.Default }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return event.NewRegistry() }
+
+// Describe renders an event's name and display text via a registry.
+func Describe(r *Registry, e *Event) (name, text string) { return event.Describe(r, e) }
+
+// MakeHeader packs an event header word.
+func MakeHeader(timestamp uint32, length int, major Major, minor uint16) Header {
+	return event.MakeHeader(timestamp, length, major, minor)
+}
+
+// Pack encodes values per a token list into payload words.
+func Pack(toks []Token, vals []Value) ([]uint64, error) { return event.Pack(toks, vals) }
+
+// Unpack decodes payload words per a token list.
+func Unpack(toks []Token, words []uint64) ([]Value, error) { return event.Unpack(toks, words) }
+
+// ParseTokens parses a K42-style token string such as "64 64 str".
+func ParseTokens(s string) ([]Token, error) { return event.ParseTokens(s) }
+
+// --- Clocks ------------------------------------------------------------------
+
+// ClockSource produces trace timestamps.
+type ClockSource = clock.Source
+
+// SyncClock is a shared synchronized nanosecond clock (PowerPC-style).
+type SyncClock = clock.Sync
+
+// ManualClock is a deterministic test clock.
+type ManualClock = clock.Manual
+
+// TSCClock models per-CPU skewed counters (x86-style).
+type TSCClock = clock.TSC
+
+// NewSyncClock returns a synchronized nanosecond clock.
+func NewSyncClock() *SyncClock { return clock.NewSync() }
+
+// NewManualClock returns a deterministic clock advancing step per read.
+func NewManualClock(step uint64) *ManualClock { return clock.NewManual(step) }
+
+// --- Trace files and network relay --------------------------------------------
+
+// TraceWriter serializes sealed buffers into the trace file format.
+type TraceWriter = stream.Writer
+
+// TraceReader provides random access to a trace file.
+type TraceReader = stream.Reader
+
+// TraceMeta describes a trace file.
+type TraceMeta = stream.Meta
+
+// BlockStream reads the trace format sequentially (pipes, sockets).
+type BlockStream = stream.BlockStream
+
+// CaptureStats summarizes a capture run.
+type CaptureStats = stream.CaptureStats
+
+// NewWriter writes a trace-file header and returns a writer.
+func NewWriter(w io.Writer, meta TraceMeta) (*TraceWriter, error) { return stream.NewWriter(w, meta) }
+
+// NewReader opens a trace file of the given size for random access.
+func NewReader(r io.ReaderAt, size int64) (*TraceReader, error) { return stream.NewReader(r, size) }
+
+// Capture drains a stream-mode tracer into w until the tracer stops.
+func Capture(tr *Tracer, w io.Writer) (CaptureStats, error) { return stream.Capture(tr, w) }
+
+// CaptureAsync runs Capture in a goroutine; call the returned function
+// after Tracer.Stop to collect the result.
+func CaptureAsync(tr *Tracer, w io.Writer) func() (CaptureStats, error) {
+	return stream.CaptureAsync(tr, w)
+}
+
+// RelaySend streams a tracer's buffers to a collector over TCP.
+func RelaySend(tr *Tracer, addr string) (CaptureStats, error) { return relay.Send(tr, addr) }
+
+// RelayHandler processes one incoming trace stream.
+type RelayHandler = relay.Handler
+
+// RelayServer accepts trace streams over TCP.
+type RelayServer = relay.Server
+
+// RelayListen starts a collector on addr.
+func RelayListen(addr string, h RelayHandler) (*RelayServer, error) { return relay.Listen(addr, h) }
+
+// RelaySaveHandler persists incoming streams as a trace file.
+func RelaySaveHandler(w io.Writer) (RelayHandler, *relay.SaveStats) { return relay.SaveHandler(w) }
+
+// RelayLiveHandler delivers incoming buffers on a channel for live
+// analysis.
+func RelayLiveHandler(buffered int) (RelayHandler, <-chan relay.LiveBlock) {
+	return relay.LiveHandler(buffered)
+}
+
+// --- Analysis ------------------------------------------------------------------
+
+// Trace is a decoded stream plus its naming context; the input to all
+// analysis tools.
+type Trace = analysis.Trace
+
+// LockReport is the Figure 7 lock-contention report.
+type LockReport = analysis.LockReport
+
+// Profile is the Figure 6 statistical execution profile.
+type Profile = analysis.Profile
+
+// TimeBreak is the Figure 8 fine-grained time breakdown.
+type TimeBreak = analysis.TimeBreak
+
+// Timeline is the Figure 4 per-CPU timeline.
+type Timeline = analysis.Timeline
+
+// ListOptions filter event listings.
+type ListOptions = analysis.ListOptions
+
+// DeadlockReport is the lock-order cycle analysis (§4.2 correctness
+// debugging).
+type DeadlockReport = analysis.DeadlockReport
+
+// MemReport is the hardware-counter memory hot-spot analysis (§2).
+type MemReport = analysis.MemReport
+
+// ValidationReport is the structural trace-invariant check.
+type ValidationReport = analysis.ValidationReport
+
+// BuildTrace constructs an analysis Trace from decoded events.
+func BuildTrace(evs []Event, hz uint64, reg *Registry) *Trace {
+	return analysis.Build(evs, hz, reg)
+}
