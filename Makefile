@@ -1,0 +1,24 @@
+GO ?= go
+
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/
+
+.PHONY: check build vet test race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent layers: the lockless logger, the block-parallel
+# decode pipeline, the TCP relay, and the per-CPU analysis fan-out.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -8,10 +8,13 @@ package ktrace_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
 	ktrace "k42trace"
+	"k42trace/internal/analysis"
 	"k42trace/internal/baseline"
 	"k42trace/internal/clock"
 	"k42trace/internal/event"
@@ -486,4 +489,147 @@ func BenchmarkAblationTimestampReread(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Parallel analysis pipeline ----------------------------------------------
+//
+// The read-side scalability story: block-level fan-out over the Reader's
+// random-access points, per-CPU mergeable accumulators, and a k-way heap
+// merge replacing the global sort. Output is bit-identical to sequential
+// at every worker count (see the determinism tests); these benchmarks
+// capture the throughput-vs-workers curve and the merge-vs-sort gap.
+
+var pbench struct {
+	once sync.Once
+	data []byte
+}
+
+// pbenchFile builds a multi-MB, multi-hundred-block trace over 4 CPU
+// streams — large enough that block decode dominates and fan-out matters.
+func pbenchFile(b *testing.B) []byte {
+	pbench.once.Do(func() {
+		tr := ktrace.MustNew(ktrace.Config{
+			CPUs: 4, BufWords: 1024, NumBufs: 8,
+			Mode: ktrace.Stream, Clock: clock.NewManual(1),
+		})
+		tr.EnableAll()
+		var buf bytes.Buffer
+		wait := stream.CaptureAsync(tr, &buf)
+		for i := 0; i < 600_000; i++ {
+			c := tr.CPU(i % 4)
+			if i%5 == 0 {
+				c.Log4(ktrace.MajorTest, 2, uint64(i), 1, 2, 3)
+			} else {
+				c.Log2(ktrace.MajorTest, 1, uint64(i), uint64(i))
+			}
+		}
+		tr.Stop()
+		if _, err := wait(); err != nil {
+			panic(err)
+		}
+		pbench.data = buf.Bytes()
+	})
+	return pbench.data
+}
+
+func BenchmarkParallelAnalysis(b *testing.B) {
+	data := pbenchFile(b)
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rd.NumBlocks() < 64 {
+		b.Fatalf("bench trace has %d blocks, want >= 64", rd.NumBlocks())
+	}
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				evs, _, err := rd.ReadAllParallel(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := ktrace.BuildTrace(evs, 1, ktrace.DefaultRegistry())
+				if rows := tr.OverviewParallel(w); len(rows) == 0 {
+					b.Fatal("no overview rows")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKWayMerge(b *testing.B) {
+	data := pbenchFile(b)
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs, _, err := rd.ReadAllParallel(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	streams := analysis.SplitByCPU(evs)
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	b.Run("kway-heap-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := stream.MergeByTime(streams...); len(got) != n {
+				b.Fatal("merge lost events")
+			}
+		}
+	})
+	// The pre-parallel approach: concatenate in block order, then one
+	// global stable sort by (Time, CPU).
+	b.Run("global-stable-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			all := make([]event.Event, 0, n)
+			for _, s := range streams {
+				all = append(all, s...)
+			}
+			sort.SliceStable(all, func(i, j int) bool {
+				if all[i].Time != all[j].Time {
+					return all[i].Time < all[j].Time
+				}
+				return all[i].CPU < all[j].CPU
+			})
+		}
+	})
+}
+
+// BenchmarkBlockDecode guards the zero-allocation decode path: allocs/op
+// for a warm ReadBlockInto must stay at 0 (the DecodeBuffer sub-bench
+// shows the remaining per-event cost for contrast).
+func BenchmarkBlockDecode(b *testing.B) {
+	data := pbenchFile(b)
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("read-block-into", func(b *testing.B) {
+		var bb stream.BlockBuf
+		if _, _, err := rd.ReadBlockInto(0, &bb); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rd.ReadBlockInto(i%rd.NumBlocks(), &bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("events-per-block", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rd.Events(i % rd.NumBlocks()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

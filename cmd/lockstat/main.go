@@ -23,18 +23,19 @@ import (
 func main() {
 	sortKey := flag.String("sort", "time", "column to sort by: time, count, spin, max")
 	top := flag.Int("top", 10, "number of entries to print")
+	jobs := flag.Int("j", 0, "decode/analysis workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lockstat [flags] trace.ktr")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, _, _, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
 		os.Exit(1)
 	}
-	rep := trace.LockStat()
+	rep := trace.LockStatParallel(*jobs)
 	switch *sortKey {
 	case "time":
 		rep.Sort(analysis.ByTime)

@@ -23,18 +23,19 @@ import (
 
 func main() {
 	top := flag.Int("top", 12, "rows to print")
+	jobs := flag.Int("j", 0, "decode/analysis workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: memhot [flags] trace.ktr")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, _, _, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memhot:", err)
 		os.Exit(1)
 	}
-	rep := trace.MemProfile()
+	rep := trace.MemProfileParallel(*jobs)
 	if rep.Samples == 0 {
 		fmt.Println("no hardware-counter samples in trace (enable them with the hwc sampling period)")
 		return

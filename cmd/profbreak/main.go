@@ -20,13 +20,14 @@ func main() {
 	pid := flag.Uint64("pid", 0, "process to profile")
 	all := flag.Bool("all", false, "profile all processes combined")
 	top := flag.Int("top", 12, "histogram entries to print")
+	jobs := flag.Int("j", 0, "decode/analysis workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: profbreak [flags] trace.ktr")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, _, _, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "profbreak:", err)
 		os.Exit(1)
@@ -35,7 +36,7 @@ func main() {
 	if *all {
 		target = ^uint64(0)
 	}
-	p := trace.Profile(target)
+	p := trace.ProfileParallel(target, *jobs)
 	if p.Total == 0 {
 		fmt.Println("no PC samples in trace (was the sampler enabled?)")
 		return

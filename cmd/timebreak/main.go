@@ -21,25 +21,26 @@ import (
 func main() {
 	pid := flag.Uint64("pid", ^uint64(0), "process to break down")
 	all := flag.Bool("all", false, "print the per-process overview instead")
+	jobs := flag.Int("j", 0, "decode/analysis workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 || (*pid == ^uint64(0) && !*all) {
 		fmt.Fprintln(os.Stderr, "usage: timebreak (-pid N | -all) trace.ktr")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, _, _, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timebreak:", err)
 		os.Exit(1)
 	}
 	if *all {
-		if err := analysis.FormatOverview(os.Stdout, trace.Overview()); err != nil {
+		if err := analysis.FormatOverview(os.Stdout, trace.OverviewParallel(*jobs)); err != nil {
 			fmt.Fprintln(os.Stderr, "timebreak:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	tb := trace.TimeBreak(*pid)
+	tb := trace.TimeBreakParallel(*pid, *jobs)
 	if tb.TotalNs() == 0 && len(tb.Serviced) == 0 {
 		fmt.Fprintf(os.Stderr, "timebreak: no activity for pid %d in trace\n", *pid)
 		os.Exit(1)

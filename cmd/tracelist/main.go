@@ -24,13 +24,14 @@ func main() {
 	control := flag.Bool("control", false, "include infrastructure events (anchors, fillers metadata)")
 	pid := flag.Int64("pid", -1, "only events while this process was scheduled (-1 = all)")
 	cpu := flag.Int("cpu", -1, "only events from this processor (-1 = all)")
+	jobs := flag.Int("j", 0, "decode workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracelist [flags] trace.ktr")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, meta, st, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, meta, st, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracelist:", err)
 		os.Exit(1)

@@ -20,13 +20,14 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "decode/analysis workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracestat trace.ktr")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	trace, meta, dst, err := ktrace.OpenTraceFile(path)
+	trace, meta, dst, err := ktrace.OpenTraceFileParallel(path, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		os.Exit(1)
@@ -92,7 +93,7 @@ func main() {
 	}
 
 	fmt.Println("\nper-process time overview:")
-	rows := trace.Overview()
+	rows := trace.OverviewParallel(*jobs)
 	if len(rows) > 12 {
 		rows = rows[:12]
 	}

@@ -12,8 +12,16 @@ import (
 // OpenTraceFile reads a whole trace file, merges its events by time, and
 // returns the analysis Trace plus the file metadata and decode statistics.
 // It is the standard entry point for the command-line tools; large-file
-// tools that want random access should use NewReader directly.
+// tools that want random access should use NewReader directly. Blocks are
+// decoded on all cores; use OpenTraceFileParallel to pick a worker count.
 func OpenTraceFile(path string) (*Trace, TraceMeta, DecodeStats, error) {
+	return OpenTraceFileParallel(path, 0)
+}
+
+// OpenTraceFileParallel is OpenTraceFile with an explicit decode worker
+// count (<= 0 means GOMAXPROCS). The result is bit-identical for every
+// worker count.
+func OpenTraceFileParallel(path string, workers int) (*Trace, TraceMeta, DecodeStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, TraceMeta{}, DecodeStats{}, err
@@ -27,7 +35,7 @@ func OpenTraceFile(path string) (*Trace, TraceMeta, DecodeStats, error) {
 	if err != nil {
 		return nil, TraceMeta{}, DecodeStats{}, fmt.Errorf("%s: %w", path, err)
 	}
-	evs, st, err := rd.ReadAll()
+	evs, st, err := rd.ReadAllParallel(workers)
 	if err != nil {
 		return nil, rd.Meta(), st, fmt.Errorf("%s: %w", path, err)
 	}

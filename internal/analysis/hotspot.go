@@ -43,11 +43,17 @@ type MemReport struct {
 
 // MemProfile aggregates TRC_MEM_HWC samples by symbol.
 func (t *Trace) MemProfile() *MemReport {
+	return t.memProfileOf(t.Events)
+}
+
+// memProfileOf aggregates one event stream; sample attribution has no
+// cross-event state, so any partition of the trace merges exactly.
+func (t *Trace) memProfileOf(evs []event.Event) *MemReport {
 	agg := map[uint64]*MemRow{}
 	var order []uint64
 	rep := &MemReport{trace: t}
-	for i := range t.Events {
-		e := &t.Events[i]
+	for i := range evs {
+		e := &evs[i]
 		if e.Major() != event.MajorMem || e.Minor() != ksim.EvMemHWC || len(e.Data) < 5 {
 			continue
 		}
@@ -71,14 +77,52 @@ func (t *Trace) MemProfile() *MemReport {
 	for _, sym := range order {
 		rep.Rows = append(rep.Rows, *agg[sym])
 	}
-	sort.SliceStable(rep.Rows, func(i, j int) bool {
-		a, b := rep.Rows[i], rep.Rows[j]
+	sortMemRows(rep.Rows)
+	return rep
+}
+
+// sortMemRows orders by combined miss count descending, ties broken by
+// name then symbol id — a total order, deterministic however the rows
+// were accumulated.
+func sortMemRows(rows []MemRow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
 		if a.Misses+a.Remote != b.Misses+b.Remote {
 			return a.Misses+a.Remote > b.Misses+b.Remote
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.SymID < b.SymID
 	})
-	return rep
+}
+
+// Merge folds another partial report into rep, combining rows for the
+// same symbol and re-sorting.
+func (rep *MemReport) Merge(o *MemReport) {
+	ix := make(map[uint64]int, len(rep.Rows))
+	for i, r := range rep.Rows {
+		ix[r.SymID] = i
+	}
+	for _, r := range o.Rows {
+		i, ok := ix[r.SymID]
+		if !ok {
+			ix[r.SymID] = len(rep.Rows)
+			rep.Rows = append(rep.Rows, r)
+			continue
+		}
+		a := &rep.Rows[i]
+		a.Cycles += r.Cycles
+		a.Instr += r.Instr
+		a.Misses += r.Misses
+		a.Remote += r.Remote
+	}
+	rep.Samples += o.Samples
+	rep.Totals.Cycles += o.Totals.Cycles
+	rep.Totals.Instr += o.Totals.Instr
+	rep.Totals.Misses += o.Totals.Misses
+	rep.Totals.Remote += o.Totals.Remote
+	sortMemRows(rep.Rows)
 }
 
 // TopRemote returns the symbol with the most coherence misses (empty if

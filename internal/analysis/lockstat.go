@@ -58,6 +58,14 @@ type LockReport struct {
 // the replayed scheduling/PPC state, which is why integrating scheduling
 // events into the same trace matters.
 func (t *Trace) LockStat() *LockReport {
+	return t.lockStatOf(t.Events, MaxCPU(t.Events))
+}
+
+// lockStatOf runs the lock walk over one event stream — the whole merged
+// trace, or a single CPU's stream in the parallel path (lock state is
+// keyed per (cpu, lock), so per-CPU streams are self-contained: a hold
+// spanning a block boundary still pairs up inside its own stream).
+func (t *Trace) lockStatOf(evs []event.Event, maxCPU int) *LockReport {
 	type key struct {
 		lock, chain, pid uint64
 	}
@@ -70,7 +78,7 @@ func (t *Trace) LockStat() *LockReport {
 		lock uint64
 	}
 	lastAcq := map[cpuLock]key{}
-	Walk(t.Events, MaxCPU(t.Events), Hooks{
+	Walk(evs, maxCPU, Hooks{
 		Event: func(e *event.Event, st *CPUState) {
 			if e.Major() != event.MajorLock {
 				return
@@ -114,20 +122,67 @@ func (t *Trace) LockStat() *LockReport {
 	return rep
 }
 
-// Sort orders the rows by the given column, descending.
+// Merge folds another report's rows into r, combining rows for the same
+// (lock, chain, pid), then re-sorts by total wait. Aggregation is
+// associative and commutative, so partial reports built over disjoint
+// slices of a trace (per CPU stream, per block range) merge into exactly
+// the whole-trace report.
+func (r *LockReport) Merge(o *LockReport) {
+	type key struct {
+		lock, chain, pid uint64
+	}
+	ix := make(map[key]int, len(r.Rows))
+	for i, row := range r.Rows {
+		ix[key{row.LockID, row.ChainID, row.Pid}] = i
+	}
+	for _, row := range o.Rows {
+		k := key{row.LockID, row.ChainID, row.Pid}
+		i, ok := ix[k]
+		if !ok {
+			ix[k] = len(r.Rows)
+			r.Rows = append(r.Rows, row)
+			continue
+		}
+		a := &r.Rows[i]
+		a.TotalWaitNs += row.TotalWaitNs
+		a.Count += row.Count
+		a.Spins += row.Spins
+		if row.MaxWaitNs > a.MaxWaitNs {
+			a.MaxWaitNs = row.MaxWaitNs
+		}
+		a.HoldNs += row.HoldNs
+	}
+	r.Sort(ByTime)
+}
+
+// Sort orders the rows by the given column, descending, with ties broken
+// by (lock, chain, pid) ascending — a total order, so the report is
+// deterministic however the rows were accumulated.
 func (r *LockReport) Sort(key LockSortKey) {
-	sort.SliceStable(r.Rows, func(i, j int) bool {
-		a, b := r.Rows[i], r.Rows[j]
+	val := func(a LockRow) uint64 {
 		switch key {
 		case ByCount:
-			return a.Count > b.Count
+			return a.Count
 		case BySpin:
-			return a.Spins > b.Spins
+			return a.Spins
 		case ByMaxTime:
-			return a.MaxWaitNs > b.MaxWaitNs
+			return a.MaxWaitNs
 		default:
-			return a.TotalWaitNs > b.TotalWaitNs
+			return a.TotalWaitNs
 		}
+	}
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		if av, bv := val(a), val(b); av != bv {
+			return av > bv
+		}
+		if a.LockID != b.LockID {
+			return a.LockID < b.LockID
+		}
+		if a.ChainID != b.ChainID {
+			return a.ChainID < b.ChainID
+		}
+		return a.Pid < b.Pid
 	})
 }
 

@@ -33,6 +33,13 @@ func (p ProcSummary) TotalNs() uint64 {
 // Overview attributes all scheduled time in the trace to processes and
 // returns per-process summaries sorted by total time, largest first.
 func (t *Trace) Overview() []ProcSummary {
+	return t.overviewOf(t.Events, MaxCPU(t.Events))
+}
+
+// overviewOf aggregates one event stream. All state is per-CPU, so
+// per-CPU partial overviews combine with MergeOverview into exactly the
+// whole-trace result.
+func (t *Trace) overviewOf(evs []event.Event, maxCPU int) []ProcSummary {
 	agg := map[uint64]*ProcSummary{}
 	var order []uint64
 	get := func(pid uint64) *ProcSummary {
@@ -44,7 +51,7 @@ func (t *Trace) Overview() []ProcSummary {
 		}
 		return s
 	}
-	Walk(t.Events, MaxCPU(t.Events), Hooks{
+	Walk(evs, maxCPU, Hooks{
 		Span: func(cpu int, st *CPUState, from, to uint64) {
 			d := to - from
 			s := get(st.Pid)
@@ -71,9 +78,44 @@ func (t *Trace) Overview() []ProcSummary {
 	for _, pid := range order {
 		out = append(out, *agg[pid])
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].TotalNs() > out[j].TotalNs()
+	sortOverview(out)
+	return out
+}
+
+// sortOverview orders rows by total time descending, breaking ties by pid
+// ascending — a total order, deterministic however rows were accumulated.
+func sortOverview(rows []ProcSummary) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if a, b := rows[i].TotalNs(), rows[j].TotalNs(); a != b {
+			return a > b
+		}
+		return rows[i].Pid < rows[j].Pid
 	})
+}
+
+// MergeOverview folds partial overviews into one, combining rows for the
+// same pid and re-sorting.
+func MergeOverview(parts ...[]ProcSummary) []ProcSummary {
+	ix := map[uint64]int{}
+	var out []ProcSummary
+	for _, rows := range parts {
+		for _, r := range rows {
+			i, ok := ix[r.Pid]
+			if !ok {
+				ix[r.Pid] = len(out)
+				out = append(out, r)
+				continue
+			}
+			s := &out[i]
+			s.UserNs += r.UserNs
+			s.KernelNs += r.KernelNs
+			s.IPCNs += r.IPCNs
+			s.LockNs += r.LockNs
+			s.IdleNs += r.IdleNs
+			s.Events += r.Events
+		}
+	}
+	sortOverview(out)
 	return out
 }
 

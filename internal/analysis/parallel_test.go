@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+// workerCounts are the fan-out widths every determinism test exercises:
+// degenerate, modest, and more workers than this trace has CPU streams.
+var workerCounts = []int{1, 2, 8}
+
+// sdetTraceFull produces a traced SDET run with both samplers on, so the
+// parallel determinism checks cover the profile and memory analyses too.
+func sdetTraceFull(t *testing.T) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	p := sdet.Params{ScriptsPerCPU: 3, CommandsPerScript: 4, Seed: 9}
+	if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn, Params: p,
+		Sample: 50_000, HWCSample: 50_000}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := stream.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(evs, rd.Meta().ClockHz, event.Default)
+}
+
+// TestParallelAnalysesMatchSequential is the tentpole's acceptance test:
+// every report computed through per-CPU fan-out + merge must be identical
+// — struct-for-struct and byte-for-byte — to the sequential walk, for
+// every worker count.
+func TestParallelAnalysesMatchSequential(t *testing.T) {
+	tr := sdetTraceFull(t)
+
+	seqLock := tr.LockStat()
+	seqProf := tr.Profile(^uint64(0))
+	seqOver := tr.Overview()
+	seqMem := tr.MemProfile()
+	if len(seqLock.Rows) == 0 || seqProf.Total == 0 || len(seqOver) == 0 || seqMem.Samples == 0 {
+		t.Fatalf("sequential baselines degenerate: locks=%d samples=%d procs=%d hwc=%d",
+			len(seqLock.Rows), seqProf.Total, len(seqOver), seqMem.Samples)
+	}
+	// Break down every process the overview saw, not just a lucky pick.
+	seqTB := map[uint64]string{}
+	for _, row := range seqOver {
+		seqTB[row.Pid] = tr.TimeBreak(row.Pid).String()
+	}
+
+	for _, w := range workerCounts {
+		if got := tr.LockStatParallel(w); !reflect.DeepEqual(got.Rows, seqLock.Rows) {
+			t.Errorf("workers=%d: LockStat rows differ", w)
+		} else if got.String() != seqLock.String() {
+			t.Errorf("workers=%d: LockStat formatted report differs", w)
+		}
+		if got := tr.ProfileParallel(^uint64(0), w); !reflect.DeepEqual(got.Rows, seqProf.Rows) ||
+			got.Total != seqProf.Total || got.String() != seqProf.String() {
+			t.Errorf("workers=%d: Profile differs", w)
+		}
+		if got := tr.OverviewParallel(w); !reflect.DeepEqual(got, seqOver) {
+			t.Errorf("workers=%d: Overview differs", w)
+		}
+		if got := tr.MemProfileParallel(w); !reflect.DeepEqual(got.Rows, seqMem.Rows) ||
+			got.Samples != seqMem.Samples || got.Totals != seqMem.Totals {
+			t.Errorf("workers=%d: MemProfile differs", w)
+		}
+		for pid, want := range seqTB {
+			if got := tr.TimeBreakParallel(pid, w).String(); got != want {
+				t.Errorf("workers=%d pid=%d: TimeBreak differs", w, pid)
+			}
+		}
+	}
+}
+
+// TestStreamWalkerChunkedMatchesWalk verifies the stitching mechanism
+// itself: feeding a stream through a resumable walker in arbitrary chunks
+// reproduces the one-shot Walk exactly, including spans that cross chunk
+// boundaries.
+func TestStreamWalkerChunkedMatchesWalk(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 10, event.MajorSched, ksim.EvSchedSwitch, 0, 5),
+		mk(1, 12, event.MajorSched, ksim.EvSchedSwitch, 0, 7),
+		mk(0, 20, event.MajorSyscall, ksim.EvSyscallEnter, 5, ksim.SysRead),
+		mk(1, 25, event.MajorLock, ksim.EvLockStartWait, 0xa, 1),
+		mk(0, 30, event.MajorException, ksim.EvPPCCall, 1),
+		mk(1, 35, event.MajorLock, ksim.EvLockAcquired, 0xa, 10, 3, 1),
+		mk(0, 50, event.MajorException, ksim.EvPPCReturn, 1),
+		mk(1, 55, event.MajorLock, ksim.EvLockRelease, 0xa, 20),
+		mk(0, 60, event.MajorSyscall, ksim.EvSyscallExit, 5, ksim.SysRead),
+		mk(0, 80, event.MajorSched, ksim.EvSchedIdle),
+		mk(1, 90, event.MajorSched, ksim.EvSchedSwitch, 7, 9),
+		mk(0, 100, event.MajorSched, ksim.EvSchedResume, 20),
+	}
+	type rec struct {
+		span     bool
+		cpu      int
+		mode     ModeKind
+		pid      uint64
+		from, to uint64
+	}
+	capture := func(out *[]rec) Hooks {
+		return Hooks{
+			Span: func(cpu int, st *CPUState, from, to uint64) {
+				*out = append(*out, rec{span: true, cpu: cpu, mode: st.Mode(), pid: st.Pid, from: from, to: to})
+			},
+			Event: func(e *event.Event, st *CPUState) {
+				*out = append(*out, rec{cpu: e.CPU, mode: st.Mode(), pid: st.Pid, from: e.Time})
+			},
+		}
+	}
+	var want []rec
+	Walk(evs, MaxCPU(evs), capture(&want))
+	for _, chunk := range []int{1, 3, 5, len(evs)} {
+		var got []rec
+		w := NewStreamWalker(MaxCPU(evs), capture(&got))
+		for i := 0; i < len(evs); i += chunk {
+			end := i + chunk
+			if end > len(evs) {
+				end = len(evs)
+			}
+			w.Feed(evs[i:end])
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("chunk=%d: chunked walk differs from one-shot walk", chunk)
+		}
+	}
+}
+
+// TestBoundarySpanningLockHold drives the whole pipeline over a real
+// trace file whose lock acquire and release land in different blocks:
+// tiny buffers force the hold across an alignment boundary, and the
+// parallel decode + analysis must attribute it identically.
+func TestBoundarySpanningLockHold(t *testing.T) {
+	tcore := core.MustNew(core.Config{
+		CPUs: 1, BufWords: 16, NumBufs: 4,
+		Mode: core.Stream, Clock: clock.NewManual(1),
+	})
+	tcore.EnableAll()
+	var buf bytes.Buffer
+	wait := stream.CaptureAsync(tcore, &buf)
+	c := tcore.CPU(0)
+	c.Log2(event.MajorSched, ksim.EvSchedSwitch, 0, 5)
+	c.Log4(event.MajorLock, ksim.EvLockAcquired, 0xbeef, 40, 7, 3)
+	for i := 0; i < 20; i++ { // 40+ words: well past the 16-word boundary
+		c.Log1(event.MajorTest, 1, uint64(i))
+	}
+	c.Log2(event.MajorLock, ksim.EvLockRelease, 0xbeef, 123)
+	for i := 0; i < 20; i++ { // flush the release's block out
+		c.Log1(event.MajorTest, 2, uint64(i))
+	}
+	tcore.Stop()
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := stream.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumBlocks() < 3 {
+		t.Fatalf("want the hold to span blocks, got %d blocks", rd.NumBlocks())
+	}
+	var seq *LockReport
+	for _, w := range workerCounts {
+		evs, _, err := rd.ReadAllParallel(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := Build(evs, 1, event.Default)
+		rep := tr.LockStatParallel(w)
+		if len(rep.Rows) != 1 {
+			t.Fatalf("workers=%d: got %d lock rows, want 1", w, len(rep.Rows))
+		}
+		row := rep.Rows[0]
+		if row.LockID != 0xbeef || row.HoldNs != 123 || row.TotalWaitNs != 40 || row.Count != 1 {
+			t.Errorf("workers=%d: row %+v lost the boundary-spanning hold", w, row)
+		}
+		if seq == nil {
+			seq = tr.LockStat()
+		}
+		if !reflect.DeepEqual(rep.Rows, seq.Rows) {
+			t.Errorf("workers=%d: parallel rows differ from sequential", w)
+		}
+	}
+}
+
+// TestCrossCPUDiskWait pins the one genuinely cross-CPU computation: an
+// IO_BLOCK on one CPU answered by an IO_WAKE on another must be credited
+// as disk wait by both the sequential and the per-CPU parallel paths.
+func TestCrossCPUDiskWait(t *testing.T) {
+	const pid, tid = 5, 0x55
+	evs := []event.Event{
+		mk(0, 1, event.MajorProc, ksim.EvProcSpawn, pid, tid),
+		mk(0, 10, event.MajorSched, ksim.EvSchedSwitch, 0, pid),
+		mk(0, 20, event.MajorIO, ksim.EvIOBlock, 1, tid),
+		mk(0, 21, event.MajorSched, ksim.EvSchedSwitch, pid, 0),
+		mk(1, 50, event.MajorIO, ksim.EvIOWake, 1, tid),
+	}
+	tr := Build(evs, 1, event.Default)
+	want := tr.TimeBreak(pid)
+	if want.DiskWait.Ns != 30 || want.DiskWait.Calls != 1 {
+		t.Fatalf("sequential DiskWait = %+v, want 30ns/1 call", want.DiskWait)
+	}
+	for _, w := range workerCounts {
+		got := tr.TimeBreakParallel(pid, w)
+		if got.DiskWait != want.DiskWait {
+			t.Errorf("workers=%d: DiskWait %+v != sequential %+v", w, got.DiskWait, want.DiskWait)
+		}
+		if got.String() != want.String() {
+			t.Errorf("workers=%d: TimeBreak differs from sequential", w)
+		}
+	}
+}
+
+func TestSplitByCPUPreservesOrder(t *testing.T) {
+	evs := []event.Event{
+		mk(0, 1, event.MajorTest, 1), mk(1, 1, event.MajorTest, 2),
+		mk(0, 2, event.MajorTest, 3), mk(2, 2, event.MajorTest, 4),
+		mk(1, 3, event.MajorTest, 5), mk(0, 3, event.MajorTest, 6),
+	}
+	streams := SplitByCPU(evs)
+	if len(streams) != 3 {
+		t.Fatalf("got %d streams, want 3", len(streams))
+	}
+	total := 0
+	for cpu, s := range streams {
+		last := uint64(0)
+		for _, e := range s {
+			if e.CPU != cpu {
+				t.Fatalf("cpu %d stream has event from cpu %d", cpu, e.CPU)
+			}
+			if e.Time < last {
+				t.Fatalf("cpu %d stream out of order", cpu)
+			}
+			last = e.Time
+			total++
+		}
+	}
+	if total != len(evs) {
+		t.Fatalf("split lost events: %d of %d", total, len(evs))
+	}
+	if SplitByCPU(nil) != nil {
+		t.Error("splitting nothing should return nil")
+	}
+}

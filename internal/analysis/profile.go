@@ -35,9 +35,18 @@ type Profile struct {
 // pids combined). Samples are attributed to the domain pid recorded in the
 // sample event itself.
 func (t *Trace) Profile(pid uint64) *Profile {
+	p := t.profileOf(pid, t.Events)
+	p.finish(t)
+	return p
+}
+
+// profileOf counts samples over one event stream; the rows are built by
+// finish. Sample counting has no cross-event state, so any partition of
+// the trace profiles independently and merges.
+func (t *Trace) profileOf(pid uint64, evs []event.Event) *Profile {
 	p := &Profile{Pid: pid, samples: map[uint64]int{}}
-	for i := range t.Events {
-		e := &t.Events[i]
+	for i := range evs {
+		e := &evs[i]
 		if e.Major() != event.MajorSample || e.Minor() != ksim.EvSamplePC || len(e.Data) < 2 {
 			continue
 		}
@@ -47,6 +56,23 @@ func (t *Trace) Profile(pid uint64) *Profile {
 		p.samples[e.Data[0]]++
 		p.Total++
 	}
+	return p
+}
+
+// Merge folds another partial profile (same pid filter) into p. Call
+// finish afterwards — or use ProfileParallel, which does.
+func (p *Profile) Merge(o *Profile) {
+	for sym, n := range o.samples {
+		p.samples[sym] += n
+	}
+	p.Total += o.Total
+}
+
+// finish materializes the sorted histogram rows from the sample counts.
+// Ties are broken by name then symbol id, so the ordering is total and
+// independent of map iteration order.
+func (p *Profile) finish(t *Trace) {
+	p.Rows = p.Rows[:0]
 	for sym, n := range p.samples {
 		p.Rows = append(p.Rows, ProfileRow{Count: n, SymID: sym, Name: t.SymName(sym)})
 	}
@@ -54,10 +80,12 @@ func (t *Trace) Profile(pid uint64) *Profile {
 		if p.Rows[i].Count != p.Rows[j].Count {
 			return p.Rows[i].Count > p.Rows[j].Count
 		}
-		return p.Rows[i].Name < p.Rows[j].Name
+		if p.Rows[i].Name != p.Rows[j].Name {
+			return p.Rows[i].Name < p.Rows[j].Name
+		}
+		return p.Rows[i].SymID < p.Rows[j].SymID
 	})
-	p.mapped = t.ProcName(pid)
-	return p
+	p.mapped = t.ProcName(p.Pid)
 }
 
 // Format writes the histogram in Figure 6's layout.

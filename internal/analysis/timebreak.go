@@ -59,8 +59,28 @@ func getCS(m map[string]*CallStats, k string) *CallStats {
 	return cs
 }
 
+// ioRec is a block-boundary carry record for disk-wait matching: IO_BLOCK
+// and IO_WAKE pair by thread id, and the wake can fire on a different CPU
+// than the block, so per-CPU walks collect these and resolveDiskWait
+// replays them globally in time order.
+type ioRec struct {
+	block bool
+	tid   uint64
+	time  uint64
+	cpu   int
+}
+
 // TimeBreak computes the breakdown for one pid.
 func (t *Trace) TimeBreak(pid uint64) *TimeBreak {
+	tb, recs := t.timeBreakOf(pid, t.Events, MaxCPU(t.Events))
+	tb.resolveDiskWait(recs)
+	return tb
+}
+
+// timeBreakOf walks one event stream accumulating every per-CPU category,
+// and returns the I/O carry records for the one cross-CPU computation
+// (disk waits) to be resolved after all streams are in.
+func (t *Trace) timeBreakOf(pid uint64, evs []event.Event, maxCPU int) (*TimeBreak, []ioRec) {
 	tb := &TimeBreak{
 		Pid:      pid,
 		Name:     t.ProcName(pid),
@@ -68,8 +88,8 @@ func (t *Trace) TimeBreak(pid uint64) *TimeBreak {
 		IPC:      map[string]*CallStats{},
 		Serviced: map[string]*CallStats{},
 	}
-	blockedAt := map[uint64]uint64{} // tid -> IO_BLOCK time
-	Walk(t.Events, MaxCPU(t.Events), Hooks{
+	var recs []ioRec
+	Walk(evs, maxCPU, Hooks{
 		Span: func(cpu int, st *CPUState, from, to uint64) {
 			d := to - from
 			mode := st.Mode()
@@ -110,22 +130,28 @@ func (t *Trace) TimeBreak(pid uint64) *TimeBreak {
 		},
 		Event: func(e *event.Event, st *CPUState) {
 			// Disk waits are keyed by thread id, not by scheduled pid: the
-			// wake event fires on whatever CPU handles the completion.
-			if e.Major() == event.MajorIO && len(e.Data) >= 2 {
-				switch e.Minor() {
-				case ksim.EvIOBlock:
-					if t.ThreadPid[e.Data[1]] == pid {
-						blockedAt[e.Data[1]] = e.Time
-					}
-				case ksim.EvIOWake:
-					if t0, ok := blockedAt[e.Data[1]]; ok && e.Time >= t0 {
-						tb.DiskWait.Ns += e.Time - t0
-						tb.DiskWait.Calls++
-						delete(blockedAt, e.Data[1])
-					}
-				}
+			// wake event fires on whatever CPU handles the completion, so
+			// only record the carry here and pair it up in resolveDiskWait.
+			if e.Major() == event.MajorIO && len(e.Data) >= 2 &&
+				(e.Minor() == ksim.EvIOBlock || e.Minor() == ksim.EvIOWake) &&
+				t.ThreadPid[e.Data[1]] == pid {
+				recs = append(recs, ioRec{
+					block: e.Minor() == ksim.EvIOBlock,
+					tid:   e.Data[1],
+					time:  e.Time,
+					cpu:   e.CPU,
+				})
 			}
 			if st.Pid != pid {
+				// A server's Serviced calls: count PPC calls targeting it.
+				if e.Major() == event.MajorException && e.Minor() == ksim.EvPPCCall &&
+					len(e.Data) >= 1 && e.Data[0] == pid {
+					if nr, ok := st.Syscall(); ok {
+						getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Calls++
+					} else {
+						getCS(tb.Serviced, "direct").Calls++
+					}
+				}
 				if st.DomainPid() == pid && st.Mode() == ModeIPC {
 					if nr, ok := st.Syscall(); ok {
 						getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Events++
@@ -158,20 +184,61 @@ func (t *Trace) TimeBreak(pid uint64) *TimeBreak {
 			}
 		},
 	})
-	// A server's Serviced calls: count PPC calls targeting it.
-	Walk(t.Events, MaxCPU(t.Events), Hooks{
-		Event: func(e *event.Event, st *CPUState) {
-			if e.Major() == event.MajorException && e.Minor() == ksim.EvPPCCall &&
-				len(e.Data) >= 1 && e.Data[0] == pid && st.Pid != pid {
-				if nr, ok := st.Syscall(); ok {
-					getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Calls++
-				} else {
-					getCS(tb.Serviced, "direct").Calls++
-				}
-			}
-		},
+	return tb, recs
+}
+
+// resolveDiskWait replays the carried IO_BLOCK/IO_WAKE records in global
+// time order (stable on (time, cpu), the merged-stream order) and credits
+// each completed pair's sleep time. This runs once, after every stream's
+// records have been collected, so a block on CPU 2 wakes correctly on
+// CPU 5 even when the two streams were analyzed by different workers.
+func (tb *TimeBreak) resolveDiskWait(recs []ioRec) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].time != recs[j].time {
+			return recs[i].time < recs[j].time
+		}
+		return recs[i].cpu < recs[j].cpu
 	})
-	return tb
+	blockedAt := map[uint64]uint64{} // tid -> IO_BLOCK time
+	for _, r := range recs {
+		if r.block {
+			blockedAt[r.tid] = r.time
+			continue
+		}
+		if t0, ok := blockedAt[r.tid]; ok && r.time >= t0 {
+			tb.DiskWait.Ns += r.time - t0
+			tb.DiskWait.Calls++
+			delete(blockedAt, r.tid)
+		}
+	}
+}
+
+// add folds another partial CallStats into cs.
+func (cs *CallStats) add(o CallStats) {
+	cs.Ns += o.Ns
+	cs.Calls += o.Calls
+	cs.Events += o.Events
+}
+
+func mergeCallMap(dst, src map[string]*CallStats) {
+	for k, v := range src {
+		getCS(dst, k).add(*v)
+	}
+}
+
+// Merge folds another partial breakdown (same pid) into tb. DiskWait is
+// excluded from partials by construction — it is credited only by
+// resolveDiskWait over the combined carry records — so Merge is a plain
+// field-wise sum.
+func (tb *TimeBreak) Merge(o *TimeBreak) {
+	tb.UserNs += o.UserNs
+	mergeCallMap(tb.Syscalls, o.Syscalls)
+	mergeCallMap(tb.IPC, o.IPC)
+	tb.PageFault.add(o.PageFault)
+	tb.Interrupts.add(o.Interrupts)
+	tb.DiskWait.add(o.DiskWait)
+	tb.ExProcessNs += o.ExProcessNs
+	mergeCallMap(tb.Serviced, o.Serviced)
 }
 
 // Format writes the breakdown in the spirit of Figure 8: per-category

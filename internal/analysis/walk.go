@@ -126,13 +126,37 @@ type Hooks struct {
 // produced by stream.Reader.ReadAll or core dumps concatenated per CPU)
 // through the state machine.
 func Walk(evs []event.Event, maxCPU int, h Hooks) {
-	states := make([]CPUState, maxCPU+1)
+	NewStreamWalker(maxCPU, h).Feed(evs)
+}
+
+// StreamWalker is the resumable form of Walk: state carries across Feed
+// calls, so a stream can be replayed in chunks (e.g. block by block) with
+// results identical to a single Walk over the concatenation. Because the
+// state machine is strictly per-CPU, feeding one CPU's whole stream
+// through its own walker is likewise identical to walking the global
+// merge — the basis of the parallel analysis pipeline, where a lock
+// acquired in block k and released in block k+1 is stitched simply by
+// keeping the per-CPU state alive between blocks.
+type StreamWalker struct {
+	states []CPUState
+	hooks  Hooks
+}
+
+// NewStreamWalker returns a walker for CPUs 0..maxCPU with fresh state.
+func NewStreamWalker(maxCPU int, h Hooks) *StreamWalker {
+	return &StreamWalker{states: make([]CPUState, maxCPU+1), hooks: h}
+}
+
+// Feed replays a chunk of events, continuing from wherever the previous
+// chunk left each CPU.
+func (w *StreamWalker) Feed(evs []event.Event) {
+	h := w.hooks
 	for i := range evs {
 		e := &evs[i]
-		if e.CPU < 0 || e.CPU > maxCPU {
+		if e.CPU < 0 || e.CPU >= len(w.states) {
 			continue
 		}
-		st := &states[e.CPU]
+		st := &w.states[e.CPU]
 		if st.started && h.Span != nil && e.Time > st.lastT {
 			h.Span(e.CPU, st, st.lastT, e.Time)
 		}

@@ -178,16 +178,26 @@ func (ctl *TrcCtl) commit(idx uint64, words uint64) {
 
 // begin is the common prologue of every logging call: it registers the
 // logger as in-flight (so flight-recorder dumps can drain to quiescence),
-// re-checks the mask (closing the race with a concurrent dump disabling
-// tracing), and reserves space.
+// re-checks the mask, and reserves space.
+//
+// The mask is loaded twice per enabled event — once in the entry point,
+// once here — and both loads are necessary; neither is the redundancy it
+// looks like. The entry-point check keeps the *disabled* path to a single
+// load+branch (the paper's "single comparison against a trace mask"
+// cost); doing inflight.Add first would put two atomic RMWs on every
+// disabled trace point. The re-load here, *after* inflight.Add, closes
+// the race with Quiesce: the drain observes inflight==0 only after our
+// Add, and mask.Swap(0) happened before the drain began, so any logger
+// that slipped past the entry check while tracing was being disabled is
+// guaranteed to see the zero mask here and back out. Dropping this
+// re-check would let such a logger write into buffers the dumper believes
+// are quiescent. (What *was* redundant here — a per-call length check
+// that is statically dead for the fixed-arity Log0..Log4, whose lengths
+// of 1..5 words always fit the BufWords >= 16 / MaxWords = 1023 floors —
+// now lives only in the variable-length entry points.)
 func (ctl *TrcCtl) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
 	ctl.inflight.Add(1)
 	if ctl.t.mask.Load()&bit == 0 {
-		ctl.inflight.Add(-1)
-		return 0, 0, false
-	}
-	if uint64(length) > ctl.t.bufWords-anchorWords || length > event.MaxWords {
-		ctl.stats.tooLarge.Add(1)
 		ctl.inflight.Add(-1)
 		return 0, 0, false
 	}
@@ -196,6 +206,18 @@ func (ctl *TrcCtl) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool
 		ctl.inflight.Add(-1)
 	}
 	return idx, ts, ok
+}
+
+// fits reports whether an event of the given total length (header
+// included) can ever be logged: it must leave room for the buffer's
+// leading clock anchor and be encodable in the header's length field.
+// Callers with a constant length <= 5 (Log0..Log4) need not ask.
+func (ctl *TrcCtl) fits(length int) bool {
+	if uint64(length) > ctl.t.bufWords-anchorWords || length > event.MaxWords {
+		ctl.stats.tooLarge.Add(1)
+		return false
+	}
+	return true
 }
 
 // end is the epilogue: the logger is no longer in flight.
@@ -329,13 +351,24 @@ func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
 // event.Pack to build payloads containing packed sub-word fields or
 // strings.
 func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
-	ctl := c.ctl
-	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if c.ctl.t.mask.Load()&major.Bit() == 0 {
 		return false
 	}
+	return c.logWords(major, minor, data)
+}
+
+// logWords is LogWords without the cheap entry mask check, for callers
+// that have already tested the mask this call (LogDesc via Enabled).
+// begin's post-inflight re-load still runs, so the Quiesce race stays
+// closed; skipping the entry check only avoids a third, genuinely
+// redundant load of the same word.
+func (c CPU) logWords(major event.Major, minor uint16, data []uint64) bool {
+	ctl := c.ctl
 	length := 1 + len(data)
-	idx, ts, ok := ctl.begin(bit, length)
+	if !ctl.fits(length) {
+		return false
+	}
+	idx, ts, ok := ctl.begin(major.Bit(), length)
 	if !ok {
 		return false
 	}
@@ -360,7 +393,7 @@ func (c CPU) LogDesc(d *event.Desc, vals ...event.Value) bool {
 	if err != nil {
 		return false
 	}
-	return c.LogWords(d.Major, d.Minor, words)
+	return c.logWords(d.Major, d.Minor, words)
 }
 
 // ReserveOnly reserves space for an event but never writes or commits it.
@@ -372,6 +405,9 @@ func (c CPU) ReserveOnly(major event.Major, minor uint16, payloadWords int) bool
 	ctl := c.ctl
 	bit := major.Bit()
 	if ctl.t.mask.Load()&bit == 0 {
+		return false
+	}
+	if !ctl.fits(1 + payloadWords) {
 		return false
 	}
 	_, _, ok := ctl.begin(bit, 1+payloadWords)

@@ -1,0 +1,73 @@
+package stream
+
+import "k42trace/internal/event"
+
+// MergeByTime k-way merges per-CPU event streams, each already sorted by
+// time, into a single slice ordered by (Time, CPU) with within-stream
+// order preserved for equal stamps. This is exactly the order the old
+// global stable sort produced, at O(n log k) for k streams instead of
+// O(n log n) — and k is the CPU count, typically tiny next to n.
+//
+// Empty streams are skipped; merging nothing returns nil.
+func MergeByTime(streams ...[]event.Event) []event.Event {
+	type cursor struct {
+		evs []event.Event
+		i   int
+	}
+	var total int
+	h := make([]*cursor, 0, len(streams))
+	for _, s := range streams {
+		if len(s) == 0 {
+			continue
+		}
+		total += len(s)
+		h = append(h, &cursor{evs: s})
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// less orders heap entries by the head event's (Time, CPU). CPU ties
+	// cannot happen across distinct per-CPU streams, but keeping the
+	// tiebreak makes the function correct for arbitrary sorted inputs.
+	less := func(a, b *cursor) bool {
+		ea, eb := a.evs[a.i], b.evs[b.i]
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		return ea.CPU < eb.CPU
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && less(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && less(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+
+	out := make([]event.Event, 0, total)
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, c.evs[c.i])
+		c.i++
+		if c.i == len(c.evs) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down(0)
+	}
+	return out
+}

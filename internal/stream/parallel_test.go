@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"k42trace/internal/event"
+)
+
+// readAllReference is the pre-parallel ReadAll: decode blocks one at a
+// time in file order, concatenate, and globally stable-sort by
+// (Time, CPU). The parallel path must reproduce its output exactly.
+func readAllReference(t *testing.T, rd *Reader) []event.Event {
+	t.Helper()
+	var out []event.Event
+	for k := 0; k < rd.NumBlocks(); k++ {
+		evs, _, err := rd.Events(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, evs...)
+	}
+	sortEvents(out)
+	return out
+}
+
+func TestReadAllParallelMatchesSequential(t *testing.T) {
+	data := runCapture(t, 4, 64, 3000)
+	rd := newReader(t, data)
+	if rd.NumBlocks() < 8 {
+		t.Fatalf("want a multi-block trace, got %d blocks", rd.NumBlocks())
+	}
+	want := readAllReference(t, rd)
+	for _, workers := range []int{1, 2, 8} {
+		got, st, err := rd.ReadAllParallel(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: event stream differs from sequential reference", workers)
+		}
+		if st.Events != len(want) {
+			t.Errorf("workers=%d: stats count %d events, stream has %d", workers, st.Events, len(want))
+		}
+	}
+}
+
+// TestReadAllParallelGarbledBlock garbles one block's payload so its CPU
+// stream loses timestamp monotonicity, forcing the per-CPU sort fallback;
+// the parallel result must still match the global-sort reference.
+func TestReadAllParallelGarbledBlock(t *testing.T) {
+	data := runCapture(t, 2, 64, 3000)
+	rd := newReader(t, data)
+	if rd.NumBlocks() < 6 {
+		t.Fatalf("want a multi-block trace, got %d blocks", rd.NumBlocks())
+	}
+	// Overwrite an early block's clock-anchor payload with a timestamp far
+	// in the future: every event in that block decodes with a huge epoch,
+	// so its CPU's stream is no longer monotone across blocks.
+	garbled := append([]byte(nil), data...)
+	off := fileHdrWords*8 + 1*rd.stride + (blockHdrWords+1)*8
+	putWord(garbled[off:], 0, 1<<40)
+	grd := newReader(t, garbled)
+	want := readAllReference(t, grd)
+	// Confirm the garble actually broke per-CPU monotonicity in raw block
+	// order (the condition that forces the parallel path's sort fallback).
+	mono := true
+	perCPU := map[int]uint64{}
+	for k := 0; k < grd.NumBlocks(); k++ {
+		evs, _, err := grd.Events(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evs {
+			if e.Time < perCPU[e.CPU] {
+				mono = false
+			}
+			perCPU[e.CPU] = e.Time
+		}
+	}
+	if mono {
+		t.Fatal("garbling did not break per-CPU monotonicity; test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, _, err := grd.ReadAllParallel(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: garbled-trace stream differs from sequential reference", workers)
+		}
+	}
+}
+
+func TestMergeByTimeMatchesGlobalSort(t *testing.T) {
+	// Deterministic pseudo-random per-CPU monotone streams with plenty of
+	// timestamp collisions across streams.
+	seed := uint64(12345)
+	rng := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	var streams [][]event.Event
+	var all []event.Event
+	for cpu := 0; cpu < 5; cpu++ {
+		var s []event.Event
+		ts := uint64(0)
+		for i := 0; i < 200; i++ {
+			ts += rng() % 3 // repeats within and across streams
+			e := event.Event{Time: ts, CPU: cpu, Data: []uint64{rng()}}
+			s = append(s, e)
+		}
+		streams = append(streams, s)
+		all = append(all, s...)
+	}
+	streams = append(streams, nil) // empty stream must be harmless
+	sortEvents(all)
+	got := MergeByTime(streams...)
+	if !reflect.DeepEqual(got, all) {
+		t.Fatal("k-way merge differs from global stable sort")
+	}
+	if MergeByTime(nil, []event.Event{}) != nil {
+		t.Error("merging empty streams should return nil")
+	}
+}
+
+func TestReadBlockIntoNoAllocs(t *testing.T) {
+	data := runCapture(t, 2, 64, 1000)
+	rd := newReader(t, data)
+	var bb BlockBuf
+	if _, _, err := rd.ReadBlockInto(0, &bb); err != nil {
+		t.Fatal(err) // warm-up sizes the buffers
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := rd.ReadBlockInto(k%rd.NumBlocks(), &bb); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	if allocs != 0 {
+		t.Errorf("ReadBlockInto allocates %.1f objects per warm call, want 0", allocs)
+	}
+}
+
+func TestHeaderIntoNoAllocs(t *testing.T) {
+	data := runCapture(t, 2, 64, 1000)
+	rd := newReader(t, data)
+	scratch := make([]byte, blockHdrWords*8)
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := rd.headerInto(k%rd.NumBlocks(), scratch); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	if allocs != 0 {
+		t.Errorf("headerInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestBlockBufReuseSafeAfterDecode(t *testing.T) {
+	// DecodeBuffer must copy payloads out: decoding block 0, then reusing
+	// the same BlockBuf for block 1, must not corrupt block 0's events.
+	data := runCapture(t, 2, 64, 1500)
+	rd := newReader(t, data)
+	e0a, _, err := rd.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bb BlockBuf
+	e0b, _, err := rd.eventsInto(0, &bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rd.ReadBlockInto(1, &bb); err != nil {
+		t.Fatal(err) // clobber bb's words with block 1
+	}
+	if !reflect.DeepEqual(e0a, e0b) {
+		t.Fatal("events decoded via reused BlockBuf were corrupted by the next read")
+	}
+}

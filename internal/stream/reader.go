@@ -50,37 +50,84 @@ func (rd *Reader) NumBlocks() int { return rd.nBlk }
 // Header reads just the k-th block's header — cheap (32 bytes), used to
 // build indexes without touching event data.
 func (rd *Reader) Header(k int) (BlockHeader, error) {
+	return rd.headerInto(k, make([]byte, blockHdrWords*8))
+}
+
+// headerInto is Header with a caller-supplied scratch buffer (at least
+// blockHdrWords*8 bytes), so index builds and anomaly scans do not
+// allocate per block.
+func (rd *Reader) headerInto(k int, scratch []byte) (BlockHeader, error) {
 	if k < 0 || k >= rd.nBlk {
 		return BlockHeader{}, fmt.Errorf("stream: block %d out of range [0,%d)", k, rd.nBlk)
 	}
-	b := make([]byte, blockHdrWords*8)
+	b := scratch[:blockHdrWords*8]
 	if _, err := rd.r.ReadAt(b, fileHdrWords*8+int64(k)*rd.stride); err != nil {
 		return BlockHeader{}, err
 	}
 	return decodeBlockHeader(b)
 }
 
-// Block reads the k-th block: header plus its valid data words. This is
-// the random-access primitive; it costs one seek regardless of k.
-func (rd *Reader) Block(k int) (BlockHeader, []uint64, error) {
-	h, err := rd.Header(k)
+// BlockBuf is a reusable scratch buffer for ReadBlockInto. The zero value
+// is ready to use; buffers grow to one block stride and are then reused,
+// so a decode loop holding one BlockBuf per goroutine reads blocks without
+// per-call allocation.
+type BlockBuf struct {
+	bytes []byte
+	words []uint64
+}
+
+// ReadBlockInto reads the k-th block like Block, but into bb's reusable
+// storage: one ReadAt of the whole fixed stride (header and payload
+// together), no allocation once bb has warmed up. The returned word slice
+// aliases bb and is valid until the next ReadBlockInto on the same bb;
+// DecodeBuffer copies payloads out, so decode loops may reuse bb freely.
+func (rd *Reader) ReadBlockInto(k int, bb *BlockBuf) (BlockHeader, []uint64, error) {
+	if k < 0 || k >= rd.nBlk {
+		return BlockHeader{}, nil, fmt.Errorf("stream: block %d out of range [0,%d)", k, rd.nBlk)
+	}
+	if int64(len(bb.bytes)) < rd.stride {
+		bb.bytes = make([]byte, rd.stride)
+	}
+	b := bb.bytes[:rd.stride]
+	if _, err := rd.r.ReadAt(b, fileHdrWords*8+int64(k)*rd.stride); err != nil {
+		return BlockHeader{}, nil, err
+	}
+	h, err := decodeBlockHeader(b)
 	if err != nil {
 		return h, nil, err
 	}
 	if h.NWords > rd.meta.BufWords {
 		return h, nil, fmt.Errorf("stream: block %d claims %d words > bufWords", k, h.NWords)
 	}
-	b := make([]byte, h.NWords*8)
-	off := fileHdrWords*8 + int64(k)*rd.stride + blockHdrWords*8
-	if _, err := rd.r.ReadAt(b, off); err != nil {
-		return h, nil, err
+	if cap(bb.words) < h.NWords {
+		bb.words = make([]uint64, rd.meta.BufWords)
 	}
-	return h, bytesToWords(b), nil
+	w := bb.words[:h.NWords]
+	data := b[blockHdrWords*8:]
+	for i := range w {
+		w[i] = getWord(data, i)
+	}
+	return h, w, nil
+}
+
+// Block reads the k-th block: header plus its valid data words. This is
+// the random-access primitive; it costs one seek regardless of k. The
+// returned slice is freshly owned by the caller; hot loops should use
+// ReadBlockInto with a reused BlockBuf instead.
+func (rd *Reader) Block(k int) (BlockHeader, []uint64, error) {
+	var bb BlockBuf
+	return rd.ReadBlockInto(k, &bb)
 }
 
 // Events decodes the k-th block.
 func (rd *Reader) Events(k int) ([]event.Event, core.DecodeStats, error) {
-	h, words, err := rd.Block(k)
+	var bb BlockBuf
+	return rd.eventsInto(k, &bb)
+}
+
+// eventsInto decodes the k-th block through a reused BlockBuf.
+func (rd *Reader) eventsInto(k int, bb *BlockBuf) ([]event.Event, core.DecodeStats, error) {
+	h, words, err := rd.ReadBlockInto(k, bb)
 	if err != nil {
 		return nil, core.DecodeStats{}, err
 	}
@@ -100,12 +147,8 @@ func (rd *Reader) BlockTime(k int) (uint64, error) {
 	if _, err := rd.r.ReadAt(b, off); err != nil {
 		return 0, err
 	}
-	h := event.Header(getWord(b, 0))
-	if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && h.Len() >= 2 {
-		return getWord(b, 1), nil
-	}
-	// No anchor (garbled head): fall back to the 32-bit stamp.
-	return uint64(h.Timestamp()), nil
+	// No anchor (garbled head): anchorTime falls back to the 32-bit stamp.
+	return anchorTime(b), nil
 }
 
 // IndexEntry locates one block of one CPU's stream in time.
@@ -122,25 +165,39 @@ type Index struct {
 }
 
 // BuildIndex scans block headers (not data) and returns the per-CPU time
-// index used for seeking.
+// index used for seeking. The block header and the leading clock anchor
+// are contiguous on disk, so each block costs a single 48-byte read into a
+// reused scratch buffer.
 func (rd *Reader) BuildIndex() (*Index, error) {
 	ix := &Index{PerCPU: make([][]IndexEntry, rd.meta.CPUs)}
+	scratch := make([]byte, blockHdrWords*8+16) // header + anchor header + full timestamp
 	for k := 0; k < rd.nBlk; k++ {
-		h, err := rd.Header(k)
+		if _, err := rd.r.ReadAt(scratch, fileHdrWords*8+int64(k)*rd.stride); err != nil {
+			return nil, err
+		}
+		h, err := decodeBlockHeader(scratch)
 		if err != nil {
 			return nil, err
 		}
 		if h.CPU < 0 || h.CPU >= rd.meta.CPUs {
 			return nil, fmt.Errorf("stream: block %d has CPU %d out of range", k, h.CPU)
 		}
-		start, err := rd.BlockTime(k)
-		if err != nil {
-			return nil, err
-		}
+		start := anchorTime(scratch[blockHdrWords*8:])
 		ix.PerCPU[h.CPU] = append(ix.PerCPU[h.CPU],
 			IndexEntry{Block: k, Seq: h.Seq, Start: start})
 	}
 	return ix, nil
+}
+
+// anchorTime extracts a block's start time from its first 16 payload
+// bytes: the full timestamp of the leading clock anchor, or the 32-bit
+// header stamp when the anchor was lost to garbling.
+func anchorTime(b []byte) uint64 {
+	h := event.Header(getWord(b, 0))
+	if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && h.Len() >= 2 {
+		return getWord(b, 1)
+	}
+	return uint64(h.Timestamp())
 }
 
 // SeekTime returns, per CPU, the index of the first block that could
@@ -168,25 +225,10 @@ func (ix *Index) SeekTime(t uint64) []int {
 // ReadAll decodes the whole file and returns events merged across CPUs in
 // timestamp order (stable within equal stamps: by CPU then stream order).
 // Tools use this for whole-trace analysis; interactive tools use the index
-// plus EventsBetween for large files.
+// plus EventsBetween for large files. ReadAll is the one-goroutine form of
+// ReadAllParallel; both produce bit-identical output.
 func (rd *Reader) ReadAll() ([]event.Event, core.DecodeStats, error) {
-	var (
-		all []event.Event
-		st  core.DecodeStats
-	)
-	for k := 0; k < rd.nBlk; k++ {
-		evs, s, err := rd.Events(k)
-		if err != nil {
-			return nil, st, err
-		}
-		all = append(all, evs...)
-		st.Events += s.Events
-		st.FillerEvents += s.FillerEvents
-		st.FillerWords += s.FillerWords
-		st.SkippedWords += s.SkippedWords
-	}
-	sortEvents(all)
-	return all, st, nil
+	return rd.ReadAllParallel(1)
 }
 
 // EventsBetween returns events with from <= Time < to, merged across CPUs,
@@ -233,8 +275,9 @@ func sortEvents(evs []event.Event) {
 // post-processing side of garble detection.
 func (rd *Reader) Anomalies() ([]BlockHeader, error) {
 	var out []BlockHeader
+	scratch := make([]byte, blockHdrWords*8)
 	for k := 0; k < rd.nBlk; k++ {
-		h, err := rd.Header(k)
+		h, err := rd.headerInto(k, scratch)
 		if err != nil {
 			return nil, err
 		}
