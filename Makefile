@@ -1,8 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/
 
-.PHONY: check build vet test race bench
+# Per-target budget for the fuzz smoke run (matches the CI job).
+FUZZTIME ?= 30s
+
+.PHONY: check build vet test race bench fuzz
 
 check: vet build test race
 
@@ -16,9 +19,18 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent layers: the lockless logger, the block-parallel
-# decode pipeline, the TCP relay, and the per-CPU analysis fan-out.
+# decode pipeline, the TCP relay, the per-CPU analysis fan-out, and the
+# fault-injection harness that stresses all of them.
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Smoke-fuzz the decoders: the seed corpus lives under each package's
+# testdata/fuzz (regenerate with go test <pkg> -updatefuzzseeds). Go only
+# allows one fuzz target per invocation, hence one line per target.
+fuzz:
+	$(GO) test ./internal/core/ -fuzz='^FuzzDecodeBlock$$' -fuzztime=$(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/stream/ -fuzz='^FuzzReadStream$$' -fuzztime=$(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/stream/ -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) -run '^$$'
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -4,20 +4,29 @@
 // collector as they seal, demonstrating that "this event log may be ...
 // streamed over the network".
 //
+// The sender can also inject transport chaos — dropped, duplicated,
+// reordered, torn, bit-flipped, or zeroed blocks, driven by a fixed seed —
+// to exercise a collector's salvage path end to end (pair with
+// tracecheck -salvage on the collected file).
+//
 // Usage:
 //
 //	tracerelay -collect -listen 127.0.0.1:7042 -o collected.ktr
 //	tracerelay -send 127.0.0.1:7042 -cpus 4 -config coarse
+//	tracerelay -send 127.0.0.1:7042 -chaos-seed 7 -drop 0.05 -dup 0.05 -reorder 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
 	ktrace "k42trace"
+	"k42trace/internal/faultinject"
 	"k42trace/internal/ksim"
+	"k42trace/internal/relay"
 	"k42trace/internal/sdet"
 )
 
@@ -28,7 +37,19 @@ func main() {
 	send := flag.String("send", "", "stream a traced SDET run to this collector address")
 	cpus := flag.Int("cpus", 4, "sender: simulated processors")
 	config := flag.String("config", "coarse", "sender: tuned or coarse")
+	chaosSeed := flag.Int64("chaos-seed", 1, "sender: fault-injection seed")
+	drop := flag.Float64("drop", 0, "sender: probability of dropping each block in transit")
+	dup := flag.Float64("dup", 0, "sender: probability of duplicating each block")
+	reorder := flag.Int("reorder", 0, "sender: reorder window in blocks (0 or 1 = off)")
+	tear := flag.Float64("tear", 0, "sender: probability of tearing a block write")
+	fflip := flag.Float64("flip", 0, "sender: probability of flipping one bit in a block")
+	zero := flag.Float64("zero", 0, "sender: probability of zeroing a span of a block")
 	flag.Parse()
+	faults := faultinject.StreamFaults{
+		Seed: *chaosSeed, DropProb: *drop, DupProb: *dup, ReorderWindow: *reorder,
+		TearProb: *tear, FlipProb: *fflip, ZeroProb: *zero,
+	}
+	chaos := *drop > 0 || *dup > 0 || *reorder > 1 || *tear > 0 || *fflip > 0 || *zero > 0
 
 	switch {
 	case *collect:
@@ -62,9 +83,17 @@ func main() {
 			os.Exit(1)
 		}
 		tr.EnableAll()
+		var inj *faultinject.Injector
+		var wrap func(io.Writer) io.Writer
+		if chaos {
+			wrap = func(w io.Writer) io.Writer {
+				inj = faultinject.NewInjector(w, faults)
+				return inj
+			}
+		}
 		done := make(chan error, 1)
 		go func() {
-			_, err := ktrace.RelaySend(tr, *send)
+			_, err := relay.SendThrough(tr, *send, wrap)
 			done <- err
 		}()
 		res, err := k.Run(sdet.Workload(*cpus, sdet.DefaultParams()))
@@ -79,6 +108,9 @@ func main() {
 		}
 		fmt.Printf("streamed %d events (throughput %.0f scripts/hour)\n",
 			res.TraceEvents, res.Throughput())
+		if inj != nil {
+			fmt.Printf("chaos (seed %d): %s\n", *chaosSeed, inj.Stats())
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: tracerelay -collect [-listen addr -o file] | -send addr")
 		flag.PrintDefaults()

@@ -1,0 +1,273 @@
+package ktrace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/faultinject"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+var updateCorpus = flag.Bool("update", false,
+	"regenerate the golden trace corpus under testdata/corpus")
+
+const corpusDir = "testdata/corpus"
+
+// corpusWorkerCounts: the golden outputs must be byte-identical at both.
+var corpusWorkerCounts = []int{1, 8}
+
+// buildCorpusSources generates the two clean source traces: a standard
+// SDET run with both samplers, and a threaded run whose processes migrate
+// and perform IO across CPUs (threads log in parallel from whichever CPU
+// schedules them, so per-process event streams interleave across blocks).
+func buildCorpusSources(t testing.TB) (clean, crossIO []byte) {
+	t.Helper()
+	var a, b bytes.Buffer
+	if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn,
+		Params: sdet.Params{ScriptsPerCPU: 8, CommandsPerScript: 10, Seed: 42},
+		Sample: 10_000, HWCSample: 10_000}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn,
+		Params: sdet.Params{ScriptsPerCPU: 6, CommandsPerScript: 8, Threads: true, Seed: 7},
+		Sample: 12_000, IRQPeriod: 40_000}, &b); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes()
+}
+
+// garbleCorpus applies the corpus damage recipe to the clean trace and
+// returns the damaged image plus the indices of the fully quarantined
+// (magic-destroyed) blocks. The recipe is pure function of the input, so
+// tests can re-derive what was damaged without side-channel files.
+func garbleCorpus(t testing.TB, clean []byte) (data []byte, quarantined []int) {
+	t.Helper()
+	im, err := faultinject.OpenImage(clean, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := im.NumBlocks()
+	quarantined = []int{1, n / 2}
+	for _, k := range quarantined {
+		im.CorruptBlockMagic(k)
+	}
+	// Distinct blocks from the quarantined ones, and early in the file so
+	// they land in full (not flush-time partial) blocks: these stay
+	// readable but decode with skipped words where events were destroyed.
+	im.FlipPayloadBits(2, 5)
+	im.ZeroPayload(0, 40)
+	return im.Bytes(), quarantined
+}
+
+func truncateCorpus(t testing.TB, clean []byte) []byte {
+	t.Helper()
+	im, err := faultinject.OpenImage(clean, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.TruncateMidFinalBlock()
+	return im.Bytes()
+}
+
+// analysisReports runs all five analyses at the given worker count and
+// returns their formatted output keyed by report name.
+func analysisReports(tr *Trace, w int) map[string]string {
+	over := tr.OverviewParallel(w)
+	var pids []uint64
+	for _, row := range over {
+		pids = append(pids, row.Pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	var tb strings.Builder
+	for _, pid := range pids {
+		fmt.Fprintf(&tb, "== pid %d ==\n%s\n", pid, tr.TimeBreakParallel(pid, w).String())
+	}
+	return map[string]string{
+		"lock":      tr.LockStatParallel(w).String(),
+		"profile":   tr.ProfileParallel(^uint64(0), w).String(),
+		"overview":  analysis.OverviewString(over),
+		"timebreak": tb.String(),
+		"mem":       tr.MemProfileParallel(w).String(),
+	}
+}
+
+// TestGoldenCorpus pins the whole consumer stack byte-for-byte: every
+// corpus trace (clean, garbled, truncated, cross-CPU IO) is salvaged and
+// analyzed at 1 and 8 workers, the two runs must agree exactly, and the
+// result must match the checked-in .golden files. Run with -update to
+// regenerate corpus and goldens together.
+func TestGoldenCorpus(t *testing.T) {
+	if *updateCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		clean, crossIO := buildCorpusSources(t)
+		garbled, _ := garbleCorpus(t, clean)
+		for name, data := range map[string][]byte{
+			"clean.ktr":       clean,
+			"crosscpu-io.ktr": crossIO,
+			"garbled.ktr":     garbled,
+			"truncated.ktr":   truncateCorpus(t, clean),
+		} {
+			if err := os.WriteFile(filepath.Join(corpusDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.ktr"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus traces in %s (run go test . -update): %v", corpusDir, err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".ktr")
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var base map[string]string
+			var baseSalvage string
+			for i, w := range corpusWorkerCounts {
+				evs, rep, err := Salvage(bytes.NewReader(data), int64(len(data)), w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				tr := BuildTrace(evs, rep.Meta.ClockHz, DefaultRegistry())
+				reports := analysisReports(tr, w)
+				reports["salvage"] = rep.String()
+				if i == 0 {
+					base, baseSalvage = reports, rep.String()
+					continue
+				}
+				if rep.String() != baseSalvage {
+					t.Errorf("workers=%d: salvage report differs from workers=%d",
+						w, corpusWorkerCounts[0])
+				}
+				for k, v := range reports {
+					if v != base[k] {
+						t.Errorf("workers=%d: %s report differs from workers=%d",
+							w, k, corpusWorkerCounts[0])
+					}
+				}
+			}
+			for k, v := range base {
+				golden := filepath.Join(corpusDir, name+"."+k+".golden")
+				if *updateCorpus {
+					if err := os.WriteFile(golden, []byte(v), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("golden missing (run go test . -update): %v", err)
+				}
+				if v != string(want) {
+					t.Errorf("%s output diverged from %s", k, golden)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusSalvageExactCounts proves the acceptance claim with block
+// arithmetic: destroy exactly three block magics in the clean corpus
+// trace, and salvage must quarantine exactly those blocks, lose exactly
+// their events, and recover every event outside them bit-for-bit.
+func TestCorpusSalvageExactCounts(t *testing.T) {
+	clean, err := os.ReadFile(filepath.Join(corpusDir, "clean.ktr"))
+	if err != nil {
+		t.Fatalf("corpus missing (run go test . -update): %v", err)
+	}
+	rd, err := stream.NewReader(bytes.NewReader(clean), int64(len(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanEvs, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rd.NumBlocks()
+	if n < 8 {
+		t.Fatalf("corpus trace has %d blocks; the recipe needs >= 8 distinct targets", n)
+	}
+	qs := []int{1, n / 2, n - 2}
+	im, err := faultinject.OpenImage(clean, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	quarantined := map[int]bool{}
+	for _, k := range qs {
+		im.CorruptBlockMagic(k)
+		evs, _, err := rd.Events(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lost += len(evs)
+		quarantined[k] = true
+	}
+	if lost == 0 {
+		t.Fatal("chosen blocks hold no events; corpus too small")
+	}
+	data := im.Bytes()
+	evs, rep, err := Salvage(bytes.NewReader(data), int64(len(data)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksSkipped != len(qs) {
+		t.Fatalf("quarantined %d blocks, want exactly %d:\n%s", rep.BlocksSkipped, len(qs), rep)
+	}
+	for _, bad := range rep.Skipped {
+		if !quarantined[bad.Block] {
+			t.Errorf("block %d quarantined but never damaged (%s)", bad.Block, bad.Cause)
+		}
+	}
+	if got := len(cleanEvs) - len(evs); got != lost {
+		t.Errorf("lost %d events, the %d quarantined blocks held %d", got, len(qs), lost)
+	}
+	// Every surviving event must match the clean trace restricted to the
+	// surviving blocks — same bytes, same order.
+	var out bytes.Buffer
+	wr, err := stream.NewWriter(&out, rd.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		if quarantined[k] {
+			continue
+		}
+		h, words, err := rd.Block(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.WriteBlock(h, words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srd, err := stream.NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := srd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("salvaged %d events, survivor blocks hold %d", len(evs), len(want))
+	}
+	for i := range evs {
+		if evs[i].Header != want[i].Header || evs[i].Time != want[i].Time ||
+			evs[i].CPU != want[i].CPU {
+			t.Fatalf("event %d differs from survivor baseline", i)
+		}
+	}
+}

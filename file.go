@@ -42,6 +42,53 @@ func OpenTraceFileParallel(path string, workers int) (*Trace, TraceMeta, DecodeS
 	return analysis.Build(evs, rd.Meta().ClockHz, event.Default), rd.Meta(), st, nil
 }
 
+// SalvageTraceFile opens a possibly damaged trace forgivingly (<= 0
+// workers means GOMAXPROCS): undecodable blocks are quarantined and
+// reported in the SalvageReport rather than failing the read, so analyses
+// run on whatever survived.
+func SalvageTraceFile(path string, workers int) (*Trace, *SalvageReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	evs, rep, err := stream.Salvage(f, fi.Size(), workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return analysis.Build(evs, rep.Meta.ClockHz, event.Default), rep, nil
+}
+
+// SalvageTraceFileTo rewrites the readable blocks of the damaged trace at
+// src into a clean trace file at dst and returns the salvage accounting.
+func SalvageTraceFileTo(src, dst string, workers int) (*SalvageReport, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := stream.SalvageTo(f, fi.Size(), out, workers)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	return rep, nil
+}
+
 // WriteTraceFile captures a stream-mode tracer into a file at path. It
 // returns a wait function to call after Tracer.Stop.
 func WriteTraceFile(tr *Tracer, path string) (wait func() (CaptureStats, error), err error) {

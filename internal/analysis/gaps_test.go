@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/faultinject"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+// TestAnalysesTolerateQuarantinedGaps feeds every analysis a salvaged
+// trace with quarantined holes in it: blocks destroyed in the middle of
+// the run leave lock acquires without releases, dispatches without
+// switches, and truncated sample streams. The analyses must neither
+// panic nor diverge between sequential and parallel walks — a damaged
+// trace yields a smaller report, not a different one per worker count.
+func TestAnalysesTolerateQuarantinedGaps(t *testing.T) {
+	var buf bytes.Buffer
+	p := sdet.Params{ScriptsPerCPU: 8, CommandsPerScript: 10, Seed: 9}
+	if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn, Params: p,
+		Sample: 10_000, HWCSample: 10_000}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	im, err := faultinject.OpenImage(buf.Bytes(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := im.NumBlocks()
+	if n < 8 {
+		t.Fatalf("trace too small to damage meaningfully: %d blocks", n)
+	}
+	for _, k := range []int{n / 5, n / 2, 2 * n / 3} {
+		im.CorruptBlockMagic(k)
+	}
+	im.FlipPayloadBits(n/3, 6)
+	data := im.Bytes()
+
+	evs, rep, err := stream.Salvage(bytes.NewReader(data), int64(len(data)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksSkipped != 3 {
+		t.Fatalf("quarantined %d blocks, want the 3 with destroyed magics:\n%s",
+			rep.BlocksSkipped, rep)
+	}
+	if len(evs) == 0 {
+		t.Fatal("salvage recovered nothing")
+	}
+	tr := Build(evs, rep.Meta.ClockHz, event.Default)
+
+	seqLock := tr.LockStat()
+	seqProf := tr.Profile(^uint64(0))
+	seqOver := tr.Overview()
+	seqMem := tr.MemProfile()
+	if seqProf.Total == 0 || len(seqOver) == 0 {
+		t.Fatalf("salvaged trace degenerate: samples=%d procs=%d", seqProf.Total, len(seqOver))
+	}
+	seqTB := map[uint64]string{}
+	for _, row := range seqOver {
+		seqTB[row.Pid] = tr.TimeBreak(row.Pid).String()
+	}
+
+	for _, w := range workerCounts {
+		if got := tr.LockStatParallel(w); got.String() != seqLock.String() {
+			t.Errorf("workers=%d: LockStat differs on gapped trace", w)
+		}
+		if got := tr.ProfileParallel(^uint64(0), w); got.String() != seqProf.String() {
+			t.Errorf("workers=%d: Profile differs on gapped trace", w)
+		}
+		if got := tr.OverviewParallel(w); !reflect.DeepEqual(got, seqOver) {
+			t.Errorf("workers=%d: Overview differs on gapped trace", w)
+		}
+		if got := tr.MemProfileParallel(w); !reflect.DeepEqual(got.Rows, seqMem.Rows) ||
+			got.Samples != seqMem.Samples || got.Totals != seqMem.Totals {
+			t.Errorf("workers=%d: MemProfile differs on gapped trace", w)
+		}
+		for pid, want := range seqTB {
+			if got := tr.TimeBreakParallel(pid, w).String(); got != want {
+				t.Errorf("workers=%d pid=%d: TimeBreak differs on gapped trace", w, pid)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/event"
+)
+
+var updateFuzzSeeds = flag.Bool("updatefuzzseeds", false,
+	"regenerate the checked-in fuzz seed corpus under testdata/fuzz")
+
+// FuzzDecodeBlock throws arbitrary bytes at the buffer decoder — the
+// first consumer of every damaged trace. Whatever the input, decode must
+// not panic, and it must conserve words: every word in the buffer is part
+// of a decoded event, counted as filler, or reported skipped. That
+// conservation law is what lets salvage turn skip counts into exact
+// data-loss figures.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		words := make([]uint64, len(b)/8)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+		evs, st := DecodeBuffer(0, words)
+		sum := st.FillerWords + st.SkippedWords
+		for i := range evs {
+			sum += evs[i].Words()
+		}
+		if sum != len(words) {
+			t.Fatalf("word conservation broken: %d events + %d filler + %d skipped = %d words, buffer has %d",
+				len(evs), st.FillerWords, st.SkippedWords, sum, len(words))
+		}
+		if st.Events != len(evs) {
+			t.Fatalf("stats count %d events, decode returned %d", st.Events, len(evs))
+		}
+		// The flight-recorder reconstruction must survive the same bytes.
+		if len(words) >= 16 {
+			DecodeRecorder(0, words[:16], words[0]%1024, 4, 4)
+		}
+	})
+}
+
+// TestFuzzSeedCorpus keeps the checked-in seed corpus honest: run with
+// -updatefuzzseeds it rewrites testdata/fuzz from a real sealed buffer
+// (clean, garbled, and hole variants); without the flag it verifies the
+// seeds exist so the CI fuzz smoke job never starts from nothing.
+func TestFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeBlock")
+	if !*updateFuzzSeeds {
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) == 0 {
+			t.Fatalf("seed corpus missing (run go test -updatefuzzseeds ./internal/core/): %v", err)
+		}
+		return
+	}
+	words := sealedBufferWords(t)
+	clean := wordBytes(words)
+	garbled := append([]byte(nil), clean...)
+	garbled[9] ^= 0x40 // damage the first event header
+	hole := append([]byte(nil), clean...)
+	for i := 40; i < 120 && i < len(hole); i++ {
+		hole[i] = 0 // a zero-filled dead reservation
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"sealed-clean": clean, "sealed-garbled": garbled, "sealed-hole": hole,
+	} {
+		writeSeed(t, filepath.Join(dir, name), data)
+	}
+}
+
+// sealedBufferWords captures one full sealed buffer from a live tracer.
+func sealedBufferWords(t *testing.T) []uint64 {
+	t.Helper()
+	tr := MustNew(Config{CPUs: 1, BufWords: 64, NumBufs: 4, Mode: Stream,
+		Clock: clock.NewManual(1)})
+	tr.EnableAll()
+	done, stop := collect(tr)
+	c := tr.CPU(0)
+	for i := 0; i < 100; i++ {
+		c.Log2(event.MajorTest, 2, uint64(i), uint64(i)*3)
+	}
+	stop()
+	for _, b := range <-done {
+		if !b.part {
+			return b.words
+		}
+	}
+	t.Fatal("no full buffer sealed")
+	return nil
+}
+
+func wordBytes(words []uint64) []byte {
+	b := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+// writeSeed stores data as a Go fuzzing corpus file.
+func writeSeed(t *testing.T, path string, data []byte) {
+	t.Helper()
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

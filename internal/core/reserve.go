@@ -93,6 +93,9 @@ func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint
 				ctl.stats.dropped.Add(1)
 				return 0, 0, slowDropped
 			}
+			if ctl.reclaimStuck(newSlot, boundary) {
+				return 0, 0, slowRetry // slot sealed anomalous; try again
+			}
 			ctl.stats.blockWaits.Add(1)
 			runtime.Gosched()
 			return 0, 0, slowRetry
@@ -128,6 +131,50 @@ func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint
 		ctl.stats.exactFit.Add(1)
 	}
 	return boundary + anchorWords, ts, slowWon
+}
+
+// reclaimStuck seals a stuck buffer: one whose commit count stalled short
+// of the buffer size because a writer reserved space and was then killed
+// before logging — §3.1's failure mode. The normal seal happens at the
+// buffer's last commit, which for such a buffer never arrives; without
+// reclamation the slot would never reach the consumer and the ring would
+// wedge as soon as writers wrapped back around to it. Real write-out
+// (K42's trace daemon) ships buffers on buffer-switch regardless and
+// "reports an anomaly if they do not match"; this is that write-out,
+// deferred to the moment a writer actually needs the slot back.
+//
+// Reclaiming is only race-free when no other logger on this CPU is in
+// flight: commits happen only inside in-flight logging calls, so with the
+// caller alone (inflight == 1, counting itself) the stuck buffer's commit
+// count is final and the consumer may read its words. The state CAS makes
+// the seal unique against the buffer completing concurrently after all.
+func (ctl *TrcCtl) reclaimStuck(sl *slot, boundary uint64) bool {
+	t := ctl.t
+	if ctl.inflight.Load() != 1 {
+		return false
+	}
+	start := sl.start.Load()
+	if start >= boundary {
+		return false // current generation; not ours to seal
+	}
+	committed := sl.committed.Load()
+	if committed >= t.bufWords {
+		return false // fully committed: its last commit seals it
+	}
+	if !sl.state.CompareAndSwap(slotInUse, slotPending) {
+		return false
+	}
+	lo := start & t.indexMask
+	ctl.stats.seals.Add(1)
+	ctl.stats.stuckSeals.Add(1)
+	t.sealed <- Sealed{
+		CPU:       ctl.cpu,
+		Seq:       start / t.bufWords,
+		Start:     start,
+		Words:     ctl.buf[lo : lo+t.bufWords],
+		Committed: committed,
+	}
+	return true
 }
 
 // writeFiller pads [from, from+n) with filler events: bare headers whose

@@ -16,6 +16,7 @@ type CPUStats struct {
 	seals        atomic.Uint64
 	blockWaits   atomic.Uint64
 	anchors      atomic.Uint64
+	stuckSeals   atomic.Uint64
 }
 
 // Stats is a snapshot of tracing counters, either for one CPU or summed
@@ -46,6 +47,11 @@ type Stats struct {
 	Seals      uint64
 	Anchors    uint64
 	BlockWaits uint64
+	// StuckSeals counts buffers sealed by stuck-slot reclamation: a
+	// writer killed between reserve and commit left the buffer's count
+	// short forever, and a later writer needing the slot sealed it
+	// anomalous instead of waiting for a commit that cannot come.
+	StuckSeals uint64
 }
 
 func (s *CPUStats) snapshot() Stats {
@@ -61,6 +67,7 @@ func (s *CPUStats) snapshot() Stats {
 		Seals:        s.seals.Load(),
 		Anchors:      s.anchors.Load(),
 		BlockWaits:   s.blockWaits.Load(),
+		StuckSeals:   s.stuckSeals.Load(),
 	}
 }
 
@@ -76,6 +83,7 @@ func (a Stats) add(b Stats) Stats {
 	a.Seals += b.Seals
 	a.Anchors += b.Anchors
 	a.BlockWaits += b.BlockWaits
+	a.StuckSeals += b.StuckSeals
 	return a
 }
 

@@ -1,0 +1,257 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/stream"
+)
+
+// capture logs n events on a stream tracer, injecting writer kills via
+// wi between them, and returns the trace file bytes. ZeroFill is on —
+// without §3.1's zero-fill mitigation a dead reservation's hole keeps
+// the buffer's previous generation, which decodes as stale (duplicate)
+// events instead of a detectable gap.
+func capture(t *testing.T, cpus, n int, wi *WriterInjector) []byte {
+	t.Helper()
+	tr := core.MustNew(core.Config{
+		CPUs: cpus, BufWords: 64, NumBufs: 4,
+		Mode: core.Stream, ZeroFill: true, Clock: clock.NewManual(1),
+	})
+	tr.EnableAll()
+	var buf bytes.Buffer
+	wait := stream.CaptureAsync(tr, &buf)
+	for i := 0; i < n; i++ {
+		c := tr.CPU(i % cpus)
+		c.Log2(event.MajorTest, 7, uint64(i), uint64(i)*3)
+		if wi != nil {
+			wi.MaybeKill(c)
+		}
+	}
+	tr.Stop()
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriterKillsFlagAnomalies drives the paper's §3.1 failure end to
+// end: a writer killed between reserve and commit must surface as an
+// anomalous block (commit count vs. size) and as skipped words at decode,
+// while every committed event still survives.
+func TestWriterKillsFlagAnomalies(t *testing.T) {
+	wi := NewWriterInjector(WriterFaults{Seed: 1, KillProb: 0.2, MaxPayloadWords: 3})
+	data := capture(t, 2, 400, wi)
+	if wi.Kills() == 0 {
+		t.Fatal("no kills injected at p=0.2 over 400 events")
+	}
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anoms, err := rd.Anomalies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) == 0 {
+		t.Error("kills injected but no block flagged anomalous")
+	}
+	evs, st, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedWords == 0 {
+		t.Error("dead reservations left no skipped words")
+	}
+	got := 0
+	for _, e := range evs {
+		if e.Major() == event.MajorTest && e.Minor() == 7 {
+			got++
+		}
+	}
+	if got != 400 {
+		t.Errorf("committed events lost: got %d of 400", got)
+	}
+}
+
+func TestWriterInjectorDeterministic(t *testing.T) {
+	a := capture(t, 2, 300, NewWriterInjector(WriterFaults{Seed: 9, KillProb: 0.1}))
+	b := capture(t, 2, 300, NewWriterInjector(WriterFaults{Seed: 9, KillProb: 0.1}))
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different trace bytes")
+	}
+}
+
+func TestImageDeterminismAndTargeting(t *testing.T) {
+	data := capture(t, 2, 300, nil)
+	corrupt := func(seed int64) *Image {
+		im, err := OpenImage(data, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im.CorruptBlockMagic(1)
+		im.FlipPayloadBits(2, 4)
+		im.ZeroPayload(3, 10)
+		im.TearBlock(0, 8)
+		return im
+	}
+	a, b := corrupt(5), corrupt(5)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different corruption")
+	}
+	if len(a.Log()) != 4 {
+		t.Errorf("fault log has %d entries, want 4", len(a.Log()))
+	}
+	if bytes.Equal(a.Bytes(), data) {
+		t.Error("corruption changed nothing")
+	}
+	// Damage must stay inside the targeted blocks: block 4 onward and the
+	// file header are untouched by the ops above.
+	geo := a.Meta().Geometry()
+	tail := geo.FileHeaderBytes + 4*geo.BlockBytes
+	if !bytes.Equal(a.Bytes()[tail:], data[tail:]) {
+		t.Error("corruption leaked past block 3")
+	}
+	if !bytes.Equal(a.Bytes()[:geo.FileHeaderBytes], data[:geo.FileHeaderBytes]) {
+		t.Error("corruption leaked into the file header")
+	}
+}
+
+func TestImageTruncateMidFinalBlock(t *testing.T) {
+	data := capture(t, 1, 200, nil)
+	im, err := OpenImage(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nblk := im.NumBlocks()
+	cut := im.TruncateMidFinalBlock()
+	if cut <= 0 || len(im.Bytes()) != len(data)-cut {
+		t.Fatalf("cut %d bytes, image %d of %d", cut, len(im.Bytes()), len(data))
+	}
+	if len(im.Bytes())%8 != 0 {
+		t.Error("truncation not word-aligned")
+	}
+	if im.NumBlocks() != nblk-1 {
+		t.Errorf("truncation removed %d whole blocks, want exactly the final partial",
+			nblk-im.NumBlocks())
+	}
+}
+
+// TestInjectorChunkingInvariance: the injector must corrupt identically
+// no matter how the producer's Write calls slice the stream.
+func TestInjectorChunkingInvariance(t *testing.T) {
+	data := capture(t, 2, 500, nil)
+	run := func(chunk int) ([]byte, Stats) {
+		var out bytes.Buffer
+		in := NewInjector(&out, StreamFaults{
+			Seed: 11, DropProb: 0.1, DupProb: 0.1, TearProb: 0.05,
+			FlipProb: 0.05, ZeroProb: 0.05, ReorderWindow: 3,
+		})
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := in.Write(data[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), in.Stats()
+	}
+	wantBytes, wantStats := run(len(data))
+	if wantStats.Dropped == 0 || wantStats.Duplicated == 0 {
+		t.Fatalf("faults not exercised: %v", wantStats)
+	}
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		got, st := run(chunk)
+		if !bytes.Equal(got, wantBytes) {
+			t.Errorf("chunk=%d: output differs", chunk)
+		}
+		if st != wantStats {
+			t.Errorf("chunk=%d: stats %v != %v", chunk, st, wantStats)
+		}
+	}
+}
+
+// TestInjectorDupReorderIsRepairable: duplication and reordering alone
+// lose nothing — salvage must recover the clean stream exactly.
+func TestInjectorDupReorderIsRepairable(t *testing.T) {
+	data := capture(t, 2, 500, nil)
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	in := NewInjector(&out, StreamFaults{Seed: 4, DupProb: 0.3, ReorderWindow: 4})
+	if _, err := in.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Duplicated == 0 || st.Reordered == 0 {
+		t.Fatalf("faults not exercised: %v", st)
+	}
+	got, rep, err := stream.Salvage(bytes.NewReader(out.Bytes()), int64(out.Len()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DupBlocks != st.Duplicated {
+		t.Errorf("salvage dropped %d duplicates, injector made %d", rep.DupBlocks, st.Duplicated)
+	}
+	if rep.LostBlocks != 0 || rep.BlocksSkipped != 0 {
+		t.Errorf("lossless faults reported losses:\n%s", rep)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("salvage recovered %d events, want the clean %d", len(got), len(want))
+	}
+}
+
+func TestInjectorCorruptFileHeader(t *testing.T) {
+	data := capture(t, 2, 300, nil)
+	var out bytes.Buffer
+	in := NewInjector(&out, StreamFaults{Seed: 8, CorruptFileHeader: true})
+	if _, err := in.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.NewReader(bytes.NewReader(out.Bytes()), int64(out.Len())); err == nil {
+		t.Fatal("corrupted header still opens strictly")
+	}
+	_, rep, err := stream.Salvage(bytes.NewReader(out.Bytes()), int64(out.Len()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MetaRecovered {
+		t.Error("salvage did not need geometry recovery after header corruption")
+	}
+}
+
+func TestInjectorPassthroughNonTrace(t *testing.T) {
+	junk := bytes.Repeat([]byte("not a trace at all "), 40)
+	var out bytes.Buffer
+	in := NewInjector(&out, StreamFaults{Seed: 1, DropProb: 1})
+	if _, err := in.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), junk) {
+		t.Error("non-trace bytes were modified")
+	}
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"k42trace/internal/stream"
+)
+
+// Image corrupts a complete trace file held in memory. It parses the file
+// header once to learn the block geometry, then applies targeted,
+// seeded damage: the file-side faults of the injection matrix (bit-flipped
+// headers, garbled payloads, zero-filled regions, torn writes, truncated
+// tails). The original bytes are copied, never modified.
+type Image struct {
+	data []byte
+	meta stream.Meta
+	geo  stream.Geometry
+	rng  *rand.Rand
+	log  []string
+}
+
+// OpenImage copies a trace file's bytes and prepares them for corruption.
+func OpenImage(data []byte, seed int64) (*Image, error) {
+	meta, err := stream.ParseFileHeader(data)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	return &Image{
+		data: append([]byte(nil), data...),
+		meta: meta,
+		geo:  meta.Geometry(),
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Bytes returns the (possibly corrupted) file image.
+func (im *Image) Bytes() []byte { return im.data }
+
+// Meta returns the file metadata parsed at open.
+func (im *Image) Meta() stream.Meta { return im.meta }
+
+// NumBlocks returns the number of whole blocks currently in the image.
+func (im *Image) NumBlocks() int {
+	return (len(im.data) - im.geo.FileHeaderBytes) / im.geo.BlockBytes
+}
+
+// Log returns a human-readable line per fault applied, for reports.
+func (im *Image) Log() []string { return im.log }
+
+func (im *Image) blockOff(k int) int { return im.geo.FileHeaderBytes + k*im.geo.BlockBytes }
+
+// CorruptFileHeader flips one random bit in the file header's meaningful
+// leading words (magic, version, geometry), destroying the reader's
+// bootstrap information and forcing salvage onto geometry recovery.
+func (im *Image) CorruptFileHeader() {
+	bit := flipBit(im.rng, im.data, 0, 24)
+	note(&im.log, "file header: flipped bit %d", bit)
+}
+
+// CorruptBlockMagic flips one random bit in block k's magic word. Any
+// single-bit change breaks the magic, so this guarantees quarantine of
+// exactly block k.
+func (im *Image) CorruptBlockMagic(k int) {
+	off := im.blockOff(k)
+	bit := flipBit(im.rng, im.data, off, off+8)
+	note(&im.log, "block %d: flipped magic bit %d", k, bit-off*8)
+}
+
+// FlipBlockHeaderBit flips one random bit anywhere in block k's header —
+// magic, cpu/flags/word-count, sequence, or commit count. Unlike
+// CorruptBlockMagic the damage may instead surface as an implausible
+// header field, a phantom sequence gap, or a commit-count anomaly.
+func (im *Image) FlipBlockHeaderBit(k int) {
+	off := im.blockOff(k)
+	bit := flipBit(im.rng, im.data, off, off+im.geo.BlockHeaderBytes)
+	note(&im.log, "block %d: flipped header bit %d", k, bit-off*8)
+}
+
+// FlipPayloadBits flips n random bits in block k's payload, garbling
+// events the decoder must skip past.
+func (im *Image) FlipPayloadBits(k, n int) {
+	lo := im.blockOff(k) + im.geo.BlockHeaderBytes
+	hi := im.blockOff(k) + im.geo.BlockBytes
+	for i := 0; i < n; i++ {
+		flipBit(im.rng, im.data, lo, hi)
+	}
+	note(&im.log, "block %d: flipped %d payload bits", k, n)
+}
+
+// ZeroPayload zero-fills `words` words of block k's payload starting at a
+// seeded offset — a hole such as a lost page of a memory-mapped buffer.
+func (im *Image) ZeroPayload(k, words int) {
+	if words > im.meta.BufWords {
+		words = im.meta.BufWords
+	}
+	start := im.rng.Intn(im.meta.BufWords - words + 1)
+	lo := im.blockOff(k) + im.geo.BlockHeaderBytes + start*8
+	for i := 0; i < words*8; i++ {
+		im.data[lo+i] = 0
+	}
+	note(&im.log, "block %d: zeroed %d words at word %d", k, words, start)
+}
+
+// TearBlock simulates a torn block write: the first keepWords payload
+// words of block k reached the disk, the rest is zero. keepWords < 0
+// picks a seeded tear point.
+func (im *Image) TearBlock(k, keepWords int) {
+	if keepWords < 0 {
+		keepWords = im.rng.Intn(im.meta.BufWords)
+	}
+	lo := im.blockOff(k) + im.geo.BlockHeaderBytes + keepWords*8
+	hi := im.blockOff(k) + im.geo.BlockBytes
+	for i := lo; i < hi; i++ {
+		im.data[i] = 0
+	}
+	note(&im.log, "block %d: torn after %d words", k, keepWords)
+}
+
+// TruncateTail removes the final n bytes of the image — a copy or
+// transfer that stopped early.
+func (im *Image) TruncateTail(n int) {
+	if n > len(im.data) {
+		n = len(im.data)
+	}
+	im.data = im.data[:len(im.data)-n]
+	note(&im.log, "truncated %d tail bytes", n)
+}
+
+// TruncateMidFinalBlock cuts the file at a seeded point strictly inside
+// the last block, after its header — the classic crashed-collector file.
+// It returns the number of bytes removed.
+func (im *Image) TruncateMidFinalBlock() int {
+	last := im.NumBlocks() - 1
+	lo := im.blockOff(last) + im.geo.BlockHeaderBytes + 8
+	hi := im.blockOff(last) + im.geo.BlockBytes
+	cut := lo + im.rng.Intn(hi-lo)
+	cut -= cut % 8 // keep the surviving tail word-aligned
+	n := len(im.data) - cut
+	im.data = im.data[:cut]
+	note(&im.log, "truncated mid final block: cut %d bytes at offset %d", n, cut)
+	return n
+}

@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"k42trace/internal/stream"
+)
+
+// StreamFaults configures an Injector. Probabilities are per block and
+// independent; zero values inject nothing of that kind.
+type StreamFaults struct {
+	Seed int64
+	// DropProb drops a block entirely — a lossy relay.
+	DropProb float64
+	// DupProb delivers a block twice — a retrying relay.
+	DupProb float64
+	// ReorderWindow > 1 buffers that many surviving blocks and emits each
+	// window in a seeded permutation — out-of-order delivery.
+	ReorderWindow int
+	// TearProb zeroes the tail of a block's payload from a seeded point —
+	// a torn write in transit.
+	TearProb float64
+	// FlipProb flips one random bit anywhere in a block (header or
+	// payload).
+	FlipProb float64
+	// ZeroProb zero-fills a seeded span of a block's payload.
+	ZeroProb float64
+	// CorruptFileHeader flips one bit in the stream's file header as it
+	// passes, destroying the collector's bootstrap metadata.
+	CorruptFileHeader bool
+}
+
+// Stats counts the faults an Injector actually injected.
+type Stats struct {
+	Blocks     int // blocks that entered the injector
+	Dropped    int
+	Duplicated int
+	Torn       int
+	Flipped    int
+	Zeroed     int
+	// Reordered counts blocks emitted at a different position than they
+	// arrived at within their window.
+	Reordered int
+}
+
+// Injector wraps an io.Writer carrying the trace wire format (the output
+// of stream.Writer / stream.Capture, the input of a relay collector) and
+// corrupts blocks in flight. It chunks arbitrary Write calls into
+// whole blocks using the geometry from the passing file header, so it can
+// sit anywhere in a transport path. Call Flush after the producer
+// finishes to drain the reorder window; any trailing partial block is
+// forwarded as-is (a torn transfer for the consumer to cope with).
+//
+// If the leading bytes do not parse as a trace header the Injector
+// forwards everything unmodified: it corrupts traces, not arbitrary data.
+type Injector struct {
+	w   io.Writer
+	f   StreamFaults
+	rng *rand.Rand
+
+	buf         []byte // staging for bytes not yet forming a whole block
+	stride      int    // 0 until the header has passed
+	passthrough bool
+	window      [][]byte
+	st          Stats
+	err         error
+}
+
+// NewInjector returns a seeded injector writing corrupted blocks to w.
+func NewInjector(w io.Writer, f StreamFaults) *Injector {
+	return &Injector{w: w, f: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// Stats returns the injection counts so far.
+func (in *Injector) Stats() Stats { return in.st }
+
+// Write implements io.Writer.
+func (in *Injector) Write(p []byte) (int, error) {
+	if in.err != nil {
+		return 0, in.err
+	}
+	if in.passthrough {
+		n, err := in.w.Write(p)
+		in.err = err
+		return n, err
+	}
+	in.buf = append(in.buf, p...)
+	if in.stride == 0 {
+		const hdrBytes = 64
+		if len(in.buf) < hdrBytes {
+			return len(p), nil
+		}
+		meta, err := stream.ParseFileHeader(in.buf[:hdrBytes])
+		if err != nil {
+			// Not a trace stream: stop interfering.
+			in.passthrough = true
+			_, werr := in.w.Write(in.buf)
+			in.buf = nil
+			in.err = werr
+			if werr != nil {
+				return 0, werr
+			}
+			return len(p), nil
+		}
+		if in.f.CorruptFileHeader {
+			flipBit(in.rng, in.buf[:hdrBytes], 0, 24)
+		}
+		if _, err := in.w.Write(in.buf[:hdrBytes]); err != nil {
+			in.err = err
+			return 0, err
+		}
+		in.buf = append(in.buf[:0], in.buf[hdrBytes:]...)
+		in.stride = meta.Geometry().BlockBytes
+	}
+	for in.err == nil && len(in.buf) >= in.stride {
+		blk := append([]byte(nil), in.buf[:in.stride]...)
+		in.buf = append(in.buf[:0], in.buf[in.stride:]...)
+		in.block(blk)
+	}
+	if in.err != nil {
+		return 0, in.err
+	}
+	return len(p), nil
+}
+
+// block rolls the fault dice for one whole block and forwards the result.
+func (in *Injector) block(b []byte) {
+	in.st.Blocks++
+	if in.f.DropProb > 0 && in.rng.Float64() < in.f.DropProb {
+		in.st.Dropped++
+		return
+	}
+	hdrBytes := 32 // block header: 4 words
+	if in.f.TearProb > 0 && in.rng.Float64() < in.f.TearProb {
+		keep := hdrBytes + 8*in.rng.Intn((len(b)-hdrBytes)/8)
+		for i := keep; i < len(b); i++ {
+			b[i] = 0
+		}
+		in.st.Torn++
+	}
+	if in.f.FlipProb > 0 && in.rng.Float64() < in.f.FlipProb {
+		flipBit(in.rng, b, 0, len(b))
+		in.st.Flipped++
+	}
+	if in.f.ZeroProb > 0 && in.rng.Float64() < in.f.ZeroProb {
+		words := (len(b) - hdrBytes) / 8
+		span := 1 + in.rng.Intn(words)
+		start := hdrBytes + 8*in.rng.Intn(words-span+1)
+		for i := start; i < start+span*8; i++ {
+			b[i] = 0
+		}
+		in.st.Zeroed++
+	}
+	dup := in.f.DupProb > 0 && in.rng.Float64() < in.f.DupProb
+	in.emit(b)
+	if dup {
+		in.st.Duplicated++
+		in.emit(b)
+	}
+}
+
+// emit routes one block through the reorder window (or straight out).
+func (in *Injector) emit(b []byte) {
+	if in.f.ReorderWindow > 1 {
+		in.window = append(in.window, b)
+		if len(in.window) >= in.f.ReorderWindow {
+			in.drainWindow()
+		}
+		return
+	}
+	in.writeOut(b)
+}
+
+// drainWindow emits the buffered blocks in a seeded permutation.
+func (in *Injector) drainWindow() {
+	perm := in.rng.Perm(len(in.window))
+	for i, j := range perm {
+		if i != j {
+			in.st.Reordered++
+		}
+		in.writeOut(in.window[j])
+	}
+	in.window = in.window[:0]
+}
+
+func (in *Injector) writeOut(b []byte) {
+	if in.err != nil {
+		return
+	}
+	if _, err := in.w.Write(b); err != nil {
+		in.err = err
+	}
+}
+
+// Flush drains the reorder window and forwards any trailing partial
+// block. Call it once after the producer has written everything.
+func (in *Injector) Flush() error {
+	if in.err != nil {
+		return in.err
+	}
+	if len(in.window) > 0 {
+		in.drainWindow()
+	}
+	if len(in.buf) > 0 {
+		if _, err := in.w.Write(in.buf); err != nil && in.err == nil {
+			in.err = err
+		}
+		in.buf = nil
+	}
+	return in.err
+}
+
+// String summarizes the stats for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("blocks=%d dropped=%d duplicated=%d reordered=%d torn=%d flipped=%d zeroed=%d",
+		s.Blocks, s.Dropped, s.Duplicated, s.Reordered, s.Torn, s.Flipped, s.Zeroed)
+}

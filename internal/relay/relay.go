@@ -22,12 +22,32 @@ import (
 // stopped. It is the producer side: dial, then stream.Capture onto the
 // connection.
 func Send(tr *core.Tracer, addr string) (stream.CaptureStats, error) {
+	return SendThrough(tr, addr, nil)
+}
+
+// SendThrough is Send with a transport-transform hook: wrap receives the
+// dialed connection and returns the writer the capture drains into. It is
+// the seam where fault injection (or compression, throttling, ...) plugs
+// into the relay path without the tracer or the collector knowing. A nil
+// wrap sends directly. If the wrapped writer has a Flush method it is
+// called after the capture finishes, before the connection closes.
+func SendThrough(tr *core.Tracer, addr string, wrap func(io.Writer) io.Writer) (stream.CaptureStats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return stream.CaptureStats{}, fmt.Errorf("relay: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	return stream.Capture(tr, conn)
+	w := io.Writer(conn)
+	if wrap != nil {
+		w = wrap(conn)
+	}
+	st, err := stream.Capture(tr, w)
+	if f, ok := w.(interface{ Flush() error }); ok {
+		if ferr := f.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return st, err
 }
 
 // Handler processes one incoming trace stream. It is called once per

@@ -42,20 +42,24 @@ func (s *BlockStream) Meta() Meta { return s.meta }
 func (s *BlockStream) Blocks() int { return s.n }
 
 // Next reads the next block. It returns io.EOF after the final block; a
-// block cut off mid-transfer returns io.ErrUnexpectedEOF.
+// block cut off mid-transfer returns io.ErrUnexpectedEOF wrapped with the
+// block index and stream offset, so collectors can report where a
+// transfer was torn.
 func (s *BlockStream) Next() (BlockHeader, []uint64, error) {
+	off := int64(fileHdrWords*8) + int64(s.n)*int64(len(s.buf))
 	if _, err := io.ReadFull(s.r, s.buf); err != nil {
 		if err == io.EOF {
 			return BlockHeader{}, nil, io.EOF
 		}
-		return BlockHeader{}, nil, fmt.Errorf("stream: reading block %d: %w", s.n, err)
+		return BlockHeader{}, nil, fmt.Errorf("stream: block %d (offset %d): %w", s.n, off, err)
 	}
 	h, err := decodeBlockHeader(s.buf)
 	if err != nil {
-		return BlockHeader{}, nil, err
+		return BlockHeader{}, nil, fmt.Errorf("stream: block %d (offset %d): %w", s.n, off, err)
 	}
 	if h.NWords > s.meta.BufWords {
-		return BlockHeader{}, nil, fmt.Errorf("stream: block %d claims %d words", s.n, h.NWords)
+		return BlockHeader{}, nil, fmt.Errorf("stream: block %d (offset %d): claims %d words > bufWords %d",
+			s.n, off, h.NWords, s.meta.BufWords)
 	}
 	words := bytesToWords(s.buf[blockHdrWords*8 : (blockHdrWords+h.NWords)*8])
 	s.n++

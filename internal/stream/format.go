@@ -37,6 +37,18 @@ const (
 	blockHdrWords = 4
 )
 
+// Sanity bounds on header-declared geometry. A trace header is the one
+// thing a reader must trust before it has read anything else, so cap what
+// it may claim: without these, a corrupted (or fuzzed) header can demand
+// multi-gigabyte allocations before the first block is even read.
+const (
+	// MaxBufWords caps the per-buffer payload size a header may declare
+	// (2M words = 16 MiB per block, far above any real configuration).
+	MaxBufWords = 1 << 21
+	// MaxMetaCPUs caps the CPU count a header may declare.
+	MaxMetaCPUs = 1 << 20
+)
+
 // Block flags.
 const (
 	// FlagPartial marks a buffer flushed before it filled.
@@ -106,10 +118,44 @@ func decodeFileHeader(b []byte) (Meta, error) {
 		CPUs:     int(getWord(b, 3)),
 		ClockHz:  getWord(b, 4),
 	}
-	if m.BufWords < 16 || m.CPUs < 1 {
-		return Meta{}, fmt.Errorf("stream: implausible header %+v", m)
+	if err := m.check(); err != nil {
+		return Meta{}, err
 	}
 	return m, nil
+}
+
+// check validates the geometry bounds shared by the writer (refusing to
+// produce such a file) and the readers (refusing to believe one).
+func (m Meta) check() error {
+	if m.BufWords < 16 || m.BufWords > MaxBufWords || m.CPUs < 1 || m.CPUs > MaxMetaCPUs {
+		return fmt.Errorf("stream: implausible header %+v", m)
+	}
+	return nil
+}
+
+// ParseFileHeader decodes a trace file header from the leading bytes of a
+// file or stream. It is the exported form of the reader's own header
+// decode, for tools (fault injectors, salvagers) that work on raw trace
+// bytes without opening a full Reader.
+func ParseFileHeader(b []byte) (Meta, error) { return decodeFileHeader(b) }
+
+// Geometry is the byte-level layout implied by a file's metadata; it lets
+// byte-oriented tools locate blocks without re-deriving format constants.
+type Geometry struct {
+	FileHeaderBytes  int
+	BlockHeaderBytes int
+	// BlockBytes is the fixed stride of one block: header plus payload,
+	// with partial payloads zero-padded.
+	BlockBytes int
+}
+
+// Geometry returns the byte-level layout of a trace with this metadata.
+func (m Meta) Geometry() Geometry {
+	return Geometry{
+		FileHeaderBytes:  fileHdrWords * 8,
+		BlockHeaderBytes: blockHdrWords * 8,
+		BlockBytes:       int(blockStride(m.BufWords)),
+	}
 }
 
 func encodeBlockHeader(h BlockHeader) []byte {

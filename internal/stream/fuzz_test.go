@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateFuzzSeeds = flag.Bool("updatefuzzseeds", false,
+	"regenerate the checked-in fuzz seed corpus under testdata/fuzz")
+
+// fuzzInputCap bounds fuzz inputs to a megabyte: geometry fields in a
+// crafted header are already range-checked, so larger inputs only slow
+// the fuzzer down without reaching new code.
+const fuzzInputCap = 1 << 20
+
+// FuzzReadStream feeds arbitrary bytes to both trace consumers — the
+// random-access Reader and the sequential BlockStream. Neither may panic,
+// and the Reader must stay worker-count deterministic even on garbage.
+func FuzzReadStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("K42TRACE"))
+	f.Add(bytes.Repeat([]byte{0x4b}, 128))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > fuzzInputCap {
+			t.Skip()
+		}
+		if rd, err := NewReader(bytes.NewReader(b), int64(len(b))); err == nil {
+			evs1, st1, err1 := rd.ReadAllParallel(1)
+			evs3, st3, err3 := rd.ReadAllParallel(3)
+			if (err1 == nil) != (err3 == nil) {
+				t.Fatalf("worker count changes outcome: %v vs %v", err1, err3)
+			}
+			if err1 == nil {
+				if st1 != st3 || !reflect.DeepEqual(evs1, evs3) {
+					t.Fatal("worker count changes decoded result")
+				}
+			}
+			rd.Anomalies()
+			if ix, err := rd.BuildIndex(); err == nil {
+				rd.EventsBetween(ix, 0, ^uint64(0))
+			}
+		}
+		if bs, err := NewBlockStream(bytes.NewReader(b)); err == nil {
+			for {
+				if _, _, err := bs.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// FuzzSalvage drives the forgiving path: salvage must never panic, its
+// event count must match its own report, and whatever it rewrites must
+// reopen cleanly under the strict reader.
+func FuzzSalvage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("K42TRACE and then some trailing junk"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > fuzzInputCap {
+			t.Skip()
+		}
+		evs, rep, err := Salvage(bytes.NewReader(b), int64(len(b)), 2)
+		if err != nil {
+			return // unrecoverable input is a valid outcome
+		}
+		if len(evs) != rep.EventsRecovered {
+			t.Fatalf("returned %d events, report claims %d", len(evs), rep.EventsRecovered)
+		}
+		var out bytes.Buffer
+		rep2, err := SalvageTo(bytes.NewReader(b), int64(len(b)), &out, 2)
+		if err != nil {
+			return // nothing decodable to rewrite
+		}
+		rd, err := NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+		if err != nil {
+			t.Fatalf("salvaged rewrite does not reopen: %v", err)
+		}
+		got, _, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("salvaged rewrite does not read back: %v", err)
+		}
+		if len(got) != rep2.EventsRecovered {
+			t.Fatalf("rewrite decodes %d events, salvage recovered %d", len(got), rep2.EventsRecovered)
+		}
+	})
+}
+
+// TestFuzzSeedCorpus regenerates (with -updatefuzzseeds) or verifies the
+// checked-in seed corpus: a clean capture, a mid-block truncation, and a
+// header bit-flip, so the CI fuzz smoke job starts from realistic traces
+// rather than random bytes.
+func TestFuzzSeedCorpus(t *testing.T) {
+	root := filepath.Join("testdata", "fuzz")
+	targets := []string{"FuzzReadStream", "FuzzSalvage"}
+	if !*updateFuzzSeeds {
+		for _, tgt := range targets {
+			ents, err := os.ReadDir(filepath.Join(root, tgt))
+			if err != nil || len(ents) == 0 {
+				t.Fatalf("%s seed corpus missing (run go test -updatefuzzseeds ./internal/stream/): %v",
+					tgt, err)
+			}
+		}
+		return
+	}
+	clean := runCapture(t, 2, 64, 300)
+	truncated := clean[:len(clean)-100]
+	flipped := append([]byte(nil), clean...)
+	flipped[12] ^= 0x04 // damage the version word
+	midflip := append([]byte(nil), clean...)
+	midflip[len(midflip)/2] ^= 0x80
+	seeds := map[string][]byte{
+		"capture-clean": clean, "capture-truncated": truncated,
+		"capture-header-flip": flipped, "capture-midflip": midflip,
+	}
+	for _, tgt := range targets {
+		dir := filepath.Join(root, tgt)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

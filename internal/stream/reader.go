@@ -44,6 +44,16 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 // Meta returns the file metadata.
 func (rd *Reader) Meta() Meta { return rd.meta }
 
+// blockOff returns the file offset of block k.
+func (rd *Reader) blockOff(k int) int64 { return fileHdrWords*8 + int64(k)*rd.stride }
+
+// blockErr wraps a per-block failure with the block index and file offset,
+// so a truncated or corrupted file reports where it went wrong instead of
+// a bare io.ErrUnexpectedEOF.
+func blockErr(k int, off int64, err error) error {
+	return fmt.Errorf("stream: block %d (offset %d): %w", k, off, err)
+}
+
 // NumBlocks returns the number of buffer blocks in the file.
 func (rd *Reader) NumBlocks() int { return rd.nBlk }
 
@@ -61,10 +71,14 @@ func (rd *Reader) headerInto(k int, scratch []byte) (BlockHeader, error) {
 		return BlockHeader{}, fmt.Errorf("stream: block %d out of range [0,%d)", k, rd.nBlk)
 	}
 	b := scratch[:blockHdrWords*8]
-	if _, err := rd.r.ReadAt(b, fileHdrWords*8+int64(k)*rd.stride); err != nil {
-		return BlockHeader{}, err
+	if _, err := rd.r.ReadAt(b, rd.blockOff(k)); err != nil {
+		return BlockHeader{}, blockErr(k, rd.blockOff(k), err)
 	}
-	return decodeBlockHeader(b)
+	h, err := decodeBlockHeader(b)
+	if err != nil {
+		return BlockHeader{}, blockErr(k, rd.blockOff(k), err)
+	}
+	return h, nil
 }
 
 // BlockBuf is a reusable scratch buffer for ReadBlockInto. The zero value
@@ -89,15 +103,16 @@ func (rd *Reader) ReadBlockInto(k int, bb *BlockBuf) (BlockHeader, []uint64, err
 		bb.bytes = make([]byte, rd.stride)
 	}
 	b := bb.bytes[:rd.stride]
-	if _, err := rd.r.ReadAt(b, fileHdrWords*8+int64(k)*rd.stride); err != nil {
-		return BlockHeader{}, nil, err
+	if _, err := rd.r.ReadAt(b, rd.blockOff(k)); err != nil {
+		return BlockHeader{}, nil, blockErr(k, rd.blockOff(k), err)
 	}
 	h, err := decodeBlockHeader(b)
 	if err != nil {
-		return h, nil, err
+		return h, nil, blockErr(k, rd.blockOff(k), err)
 	}
 	if h.NWords > rd.meta.BufWords {
-		return h, nil, fmt.Errorf("stream: block %d claims %d words > bufWords", k, h.NWords)
+		return h, nil, blockErr(k, rd.blockOff(k),
+			fmt.Errorf("claims %d words > bufWords %d", h.NWords, rd.meta.BufWords))
 	}
 	if cap(bb.words) < h.NWords {
 		bb.words = make([]uint64, rd.meta.BufWords)
@@ -143,9 +158,9 @@ func (rd *Reader) BlockTime(k int) (uint64, error) {
 		return 0, fmt.Errorf("stream: block %d out of range", k)
 	}
 	b := make([]byte, 16) // anchor header + full timestamp
-	off := fileHdrWords*8 + int64(k)*rd.stride + blockHdrWords*8
+	off := rd.blockOff(k) + blockHdrWords*8
 	if _, err := rd.r.ReadAt(b, off); err != nil {
-		return 0, err
+		return 0, blockErr(k, off, err)
 	}
 	// No anchor (garbled head): anchorTime falls back to the 32-bit stamp.
 	return anchorTime(b), nil
@@ -172,12 +187,12 @@ func (rd *Reader) BuildIndex() (*Index, error) {
 	ix := &Index{PerCPU: make([][]IndexEntry, rd.meta.CPUs)}
 	scratch := make([]byte, blockHdrWords*8+16) // header + anchor header + full timestamp
 	for k := 0; k < rd.nBlk; k++ {
-		if _, err := rd.r.ReadAt(scratch, fileHdrWords*8+int64(k)*rd.stride); err != nil {
-			return nil, err
+		if _, err := rd.r.ReadAt(scratch, rd.blockOff(k)); err != nil {
+			return nil, blockErr(k, rd.blockOff(k), err)
 		}
 		h, err := decodeBlockHeader(scratch)
 		if err != nil {
-			return nil, err
+			return nil, blockErr(k, rd.blockOff(k), err)
 		}
 		if h.CPU < 0 || h.CPU >= rd.meta.CPUs {
 			return nil, fmt.Errorf("stream: block %d has CPU %d out of range", k, h.CPU)

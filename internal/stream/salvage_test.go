@@ -1,0 +1,401 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// salvageWorkerCounts mirrors the parallel-analysis determinism matrix.
+var salvageWorkerCounts = []int{1, 2, 8}
+
+// expectEvents re-assembles the merged event stream from a subset of a
+// clean file's blocks (optionally with the last block's words clipped),
+// mirroring exactly what a correct salvage must recover.
+func expectEvents(t *testing.T, rd *Reader, skip map[int]bool, clipLast int) []event.Event {
+	t.Helper()
+	perCPU := map[int][]event.Event{}
+	var cpus []int
+	for k := 0; k < rd.NumBlocks(); k++ {
+		if skip[k] {
+			continue
+		}
+		h, words, err := rd.Block(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clipLast >= 0 && k == rd.NumBlocks()-1 && len(words) > clipLast {
+			words = words[:clipLast]
+		}
+		evs, _ := core.DecodeBuffer(h.CPU, words)
+		if len(evs) == 0 {
+			continue
+		}
+		if _, ok := perCPU[h.CPU]; !ok {
+			cpus = append(cpus, h.CPU)
+		}
+		perCPU[h.CPU] = append(perCPU[h.CPU], evs...)
+	}
+	sort.Ints(cpus)
+	var streams [][]event.Event
+	for _, c := range cpus {
+		streams = append(streams, perCPU[c])
+	}
+	return MergeByTime(streams...)
+}
+
+func TestSalvageCleanMatchesReadAll(t *testing.T) {
+	data := runCapture(t, 4, 64, 600)
+	rd := newReader(t, data)
+	want, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range salvageWorkerCounts {
+		got, rep, err := Salvage(bytes.NewReader(data), int64(len(data)), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: salvaged events differ from ReadAll", w)
+		}
+		if !rep.Clean() {
+			t.Errorf("workers=%d: clean file reported dirty:\n%s", w, rep)
+		}
+		if rep.BlocksGood != rd.NumBlocks() || rep.EventsRecovered != len(want) {
+			t.Errorf("workers=%d: good=%d/%d events=%d/%d",
+				w, rep.BlocksGood, rd.NumBlocks(), rep.EventsRecovered, len(want))
+		}
+	}
+}
+
+// TestSalvageQuarantinesBadMagic is the exact-recovery acceptance test:
+// one block with a smashed magic must cost exactly that block's events
+// and nothing else, and the loss must be reported precisely.
+func TestSalvageQuarantinesBadMagic(t *testing.T) {
+	data := runCapture(t, 2, 64, 600)
+	rd := newReader(t, data)
+	if rd.NumBlocks() < 4 {
+		t.Fatalf("trace too small: %d blocks", rd.NumBlocks())
+	}
+	k := rd.NumBlocks() / 2
+	victim, _, err := rd.Block(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := rd.Meta().Geometry()
+	bad := append([]byte(nil), data...)
+	bad[geo.FileHeaderBytes+k*geo.BlockBytes] ^= 0xff // break the magic
+
+	want := expectEvents(t, rd, map[int]bool{k: true}, -1)
+	got, rep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("salvage did not recover exactly the events outside the bad block (got %d, want %d)",
+			len(got), len(want))
+	}
+	if rep.BlocksSkipped != 1 || len(rep.Skipped) != 1 {
+		t.Fatalf("skipped = %d, want 1:\n%s", rep.BlocksSkipped, rep)
+	}
+	bb := rep.Skipped[0]
+	if bb.Block != k || bb.Offset != int64(geo.FileHeaderBytes+k*geo.BlockBytes) {
+		t.Errorf("skipped block %d @ %d, want %d @ %d", bb.Block, bb.Offset,
+			k, geo.FileHeaderBytes+k*geo.BlockBytes)
+	}
+	if !strings.Contains(bb.Cause, "magic") {
+		t.Errorf("cause %q does not name the bad magic", bb.Cause)
+	}
+	if rep.LostBlocks != 1 {
+		t.Errorf("LostBlocks = %d, want 1 (seq gap on cpu %d)", rep.LostBlocks, victim.CPU)
+	}
+	for _, c := range rep.PerCPU {
+		wantLost := 0
+		if c.CPU == victim.CPU {
+			wantLost = 1
+		}
+		if c.LostBlocks != wantLost {
+			t.Errorf("cpu %d: LostBlocks = %d, want %d", c.CPU, c.LostBlocks, wantLost)
+		}
+	}
+}
+
+func TestSalvageZeroedRegionSkipsWordsOnly(t *testing.T) {
+	data := runCapture(t, 1, 64, 200)
+	rd := newReader(t, data)
+	geo := rd.Meta().Geometry()
+	k := 1
+	bad := append([]byte(nil), data...)
+	// Zero 10 words mid-payload: the decoder must resync within the block.
+	lo := geo.FileHeaderBytes + k*geo.BlockBytes + geo.BlockHeaderBytes + 20*8
+	for i := lo; i < lo+10*8; i++ {
+		bad[i] = 0
+	}
+	got, rep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksSkipped != 0 {
+		t.Fatalf("whole block quarantined for a payload hole:\n%s", rep)
+	}
+	if rep.Stats.SkippedWords == 0 {
+		t.Error("zeroed words not reported as skipped")
+	}
+	want, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything outside the hole survives; the hole costs some events of
+	// block k only.
+	if len(got) >= len(want) || len(got) < len(want)-20 {
+		t.Errorf("recovered %d events of %d", len(got), len(want))
+	}
+}
+
+func TestSalvageTruncatedTail(t *testing.T) {
+	data := runCapture(t, 2, 64, 400)
+	rd := newReader(t, data)
+	geo := rd.Meta().Geometry()
+	last := rd.NumBlocks() - 1
+	// Keep the last block's header plus 24 payload words.
+	const keepWords = 24
+	cut := geo.FileHeaderBytes + last*geo.BlockBytes + geo.BlockHeaderBytes + keepWords*8
+	bad := data[:cut]
+
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Fatal("strict reader accepted a truncated file")
+	}
+	want := expectEvents(t, rd, nil, keepWords)
+	got, rep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TailSalvaged || rep.TailBytes == 0 {
+		t.Fatalf("tail not salvaged:\n%s", rep)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("truncated-tail salvage: got %d events, want %d", len(got), len(want))
+	}
+}
+
+func TestSalvageRecoversDestroyedFileHeader(t *testing.T) {
+	data := runCapture(t, 3, 64, 500)
+	rd := newReader(t, data)
+	want, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 24; i++ { // magic, version, bufWords: all gone
+		bad[i] = 0xa5
+	}
+	got, rep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MetaRecovered {
+		t.Fatal("MetaRecovered not set")
+	}
+	if rep.Meta.BufWords != rd.Meta().BufWords || rep.Meta.CPUs != rd.Meta().CPUs {
+		t.Errorf("recovered meta %+v, want bufWords=%d cpus=%d",
+			rep.Meta, rd.Meta().BufWords, rd.Meta().CPUs)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered %d events, want %d", len(got), len(want))
+	}
+}
+
+func TestSalvageDedupAndReorder(t *testing.T) {
+	data := runCapture(t, 2, 64, 400)
+	rd := newReader(t, data)
+	want, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := rd.Meta().Geometry()
+	n := rd.NumBlocks()
+	if n < 4 {
+		t.Fatalf("trace too small: %d blocks", n)
+	}
+	blockBytes := func(k int) []byte {
+		off := geo.FileHeaderBytes + k*geo.BlockBytes
+		return data[off : off+geo.BlockBytes]
+	}
+	// Find the first two blocks of the same CPU: swapping them reorders
+	// within that CPU's sequence stream.
+	first, err := rd.Header(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := -1
+	for k := 1; k < n; k++ {
+		h, err := rd.Header(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.CPU == first.CPU {
+			second = k
+			break
+		}
+	}
+	if second < 0 {
+		t.Fatalf("no second block for cpu %d", first.CPU)
+	}
+	// Rebuild the file with that pair swapped and the following block
+	// delivered twice — a reordering, retrying relay.
+	var bad bytes.Buffer
+	bad.Write(data[:geo.FileHeaderBytes])
+	order := []int{second}
+	for k := 1; k < second; k++ {
+		order = append(order, k)
+	}
+	order = append(order, 0, second+1, second+1)
+	for k := second + 2; k < n; k++ {
+		order = append(order, k)
+	}
+	for _, k := range order {
+		bad.Write(blockBytes(k))
+	}
+	got, rep, err := Salvage(bytes.NewReader(bad.Bytes()), int64(bad.Len()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DupBlocks != 1 {
+		t.Errorf("DupBlocks = %d, want 1:\n%s", rep.DupBlocks, rep)
+	}
+	if rep.Reordered == 0 {
+		t.Errorf("reordered delivery not detected:\n%s", rep)
+	}
+	if rep.LostBlocks != 0 {
+		t.Errorf("LostBlocks = %d, want 0", rep.LostBlocks)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dedup+reorder salvage: got %d events, want %d (clean)", len(got), len(want))
+	}
+}
+
+func TestSalvageToRoundTrip(t *testing.T) {
+	data := runCapture(t, 2, 64, 500)
+	rd := newReader(t, data)
+	geo := rd.Meta().Geometry()
+	bad := append([]byte(nil), data...)
+	bad[geo.FileHeaderBytes+2*geo.BlockBytes+3] ^= 0x40 // one bad magic
+	cut := len(bad) - geo.BlockBytes/2                  // and a torn final block
+	bad = bad[:cut-cut%8]
+
+	want, wantRep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	rep, err := SalvageTo(bytes.NewReader(bad), int64(len(bad)), &out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != wantRep.String() {
+		t.Errorf("SalvageTo report differs from Salvage report")
+	}
+	// The rewritten file must open with the strict reader and decode to
+	// exactly the salvaged events.
+	rrd, err := NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatalf("repaired file unreadable: %v", err)
+	}
+	got, _, err := rrd.ReadAll()
+	if err != nil {
+		t.Fatalf("repaired file undecodable: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("repaired file decodes to %d events, salvage recovered %d", len(got), len(want))
+	}
+	// Re-salvaging the repaired file quarantines nothing (the seq gap
+	// from the quarantined source block remains, and is reported).
+	_, rep2, err := Salvage(bytes.NewReader(out.Bytes()), int64(out.Len()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BlocksSkipped != 0 {
+		t.Errorf("repaired file still has %d quarantined blocks", rep2.BlocksSkipped)
+	}
+	if rep2.LostBlocks != rep.LostBlocks {
+		t.Errorf("repaired file reports %d lost blocks, want %d", rep2.LostBlocks, rep.LostBlocks)
+	}
+}
+
+func TestSalvageWorkerDeterminism(t *testing.T) {
+	data := runCapture(t, 4, 64, 800)
+	rd := newReader(t, data)
+	geo := rd.Meta().Geometry()
+	bad := append([]byte(nil), data...)
+	bad[geo.FileHeaderBytes+1*geo.BlockBytes] ^= 0x01
+	bad[geo.FileHeaderBytes+4*geo.BlockBytes+geo.BlockHeaderBytes+8] ^= 0x80
+	bad = bad[:len(bad)-56]
+
+	var wantEvs []event.Event
+	var wantRep string
+	for _, w := range salvageWorkerCounts {
+		evs, rep, err := Salvage(bytes.NewReader(bad), int64(len(bad)), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if wantRep == "" {
+			wantEvs, wantRep = evs, rep.String()
+			continue
+		}
+		if !reflect.DeepEqual(evs, wantEvs) {
+			t.Errorf("workers=%d: salvaged events differ from workers=1", w)
+		}
+		if rep.String() != wantRep {
+			t.Errorf("workers=%d: report differs from workers=1:\n%s\n---\n%s", w, rep, wantRep)
+		}
+	}
+}
+
+func TestSalvageUnrecoverable(t *testing.T) {
+	junk := bytes.Repeat([]byte{0x42}, 4096)
+	if _, _, err := Salvage(bytes.NewReader(junk), int64(len(junk)), 2); err == nil {
+		t.Error("salvage of structureless junk did not error")
+	}
+	if _, _, err := Salvage(bytes.NewReader(nil), 0, 2); err == nil {
+		t.Error("salvage of empty input did not error")
+	}
+}
+
+// TestReaderTruncatedBlockErrorContext pins the satellite fix: a read
+// failure mid-file must name the block and offset, not surface a bare
+// io.ErrUnexpectedEOF / io.EOF.
+func TestReaderTruncatedBlockErrorContext(t *testing.T) {
+	data := runCapture(t, 1, 64, 200)
+	rd, err := NewReader(bytes.NewReader(data[:len(data)-16]), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = rd.ReadAll()
+	if err == nil {
+		t.Fatal("truncated read succeeded")
+	}
+	last := rd.NumBlocks() - 1
+	geo := rd.Meta().Geometry()
+	wantOff := int64(geo.FileHeaderBytes + last*geo.BlockBytes)
+	for _, needle := range []string{
+		"block", // the block index
+	} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("error %q missing %q", err, needle)
+		}
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %q does not report the file offset (want offset %d)", err, wantOff)
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("wrapped error lost the underlying EOF: %v", err)
+	}
+}

@@ -21,11 +21,8 @@ type Writer struct {
 
 // NewWriter writes the file header and returns a Writer.
 func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
-	if meta.BufWords < 16 {
-		return nil, fmt.Errorf("stream: BufWords %d too small", meta.BufWords)
-	}
-	if meta.CPUs < 1 {
-		return nil, fmt.Errorf("stream: CPUs %d invalid", meta.CPUs)
+	if err := meta.check(); err != nil {
+		return nil, err
 	}
 	if _, err := w.Write(encodeFileHeader(meta)); err != nil {
 		return nil, fmt.Errorf("stream: writing file header: %w", err)

@@ -240,6 +240,27 @@ func CaptureAsync(tr *Tracer, w io.Writer) func() (CaptureStats, error) {
 	return stream.CaptureAsync(tr, w)
 }
 
+// SalvageReport describes what a forgiving read recovered from a damaged
+// trace: blocks scanned and quarantined, duplicate and lost deliveries,
+// and exact per-CPU loss accounting.
+type SalvageReport = stream.SalvageReport
+
+// BadBlock is one quarantined block in a SalvageReport.
+type BadBlock = stream.BadBlock
+
+// Salvage reads a possibly damaged trace forgivingly: undecodable blocks
+// are quarantined and reported instead of failing the read, and a
+// destroyed file header is recovered by scanning for block magics.
+func Salvage(r io.ReaderAt, size int64, workers int) ([]Event, *SalvageReport, error) {
+	return stream.Salvage(r, size, workers)
+}
+
+// SalvageTo rewrites the readable blocks of a damaged trace into w as a
+// clean trace file openable with NewReader.
+func SalvageTo(r io.ReaderAt, size int64, w io.Writer, workers int) (*SalvageReport, error) {
+	return stream.SalvageTo(r, size, w, workers)
+}
+
 // RelaySend streams a tracer's buffers to a collector over TCP.
 func RelaySend(tr *Tracer, addr string) (CaptureStats, error) { return relay.Send(tr, addr) }
 
