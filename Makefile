@@ -1,11 +1,14 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/
 
 # Per-target budget for the fuzz smoke run (matches the CI job).
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench fuzz
+# Where `make bench` writes its machine-readable results.
+BENCH_JSON ?= BENCH_pr3.json
+
+.PHONY: check build vet test race bench fuzz live-smoke
 
 check: vet build test race
 
@@ -32,5 +35,14 @@ fuzz:
 	$(GO) test ./internal/stream/ -fuzz='^FuzzReadStream$$' -fuzztime=$(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/stream/ -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) -run '^$$'
 
+# All benchmarks — the offline suite at the repo root plus the live-ingest
+# benchmarks — converted to a JSON artifact for CI upload and comparison.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ > BENCH.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < BENCH.txt
+	@rm -f BENCH.txt
+
+# End-to-end live-monitoring smoke: collector + two producers + HTTP
+# surface + SIGTERM drain + tracecheck on the spill.
+live-smoke:
+	./scripts/live_smoke.sh

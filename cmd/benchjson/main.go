@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark artifact (for CI upload and cross-run comparison), echoing
+// the original output through so it still shows in the build log.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric values, unit → value.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Artifact is the whole file.
+type Artifact struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout only)")
+	flag.Parse()
+
+	art := Artifact{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // passthrough
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			art.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			art.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			art.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Package: pkg}
+		r.Procs, _ = strconv.Atoi(m[2])
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		for _, f := range strings.Split(strings.TrimSpace(m[5]), "\t") {
+			f = strings.TrimSpace(f)
+			parts := strings.Fields(f)
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			switch parts[1] {
+			case "MB/s":
+				r.MBPerS = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[parts[1]] = v
+			}
+		}
+		art.Results = append(art.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(art.Results), *out)
+}

@@ -29,6 +29,7 @@ func main() {
 	zoomTo := flag.Float64("to", -1, "zoom: window end, seconds")
 	at := flag.Float64("at", -1, "list events around this time (seconds), like clicking the timeline")
 	around := flag.Float64("around", 2.0, "window size for -at, milliseconds")
+	jobs := flag.Int("j", 0, "decode workers (0 = all cores)")
 	var marks markList
 	flag.Var(&marks, "mark", "event name to mark on the timeline (repeatable)")
 	flag.Parse()
@@ -37,7 +38,7 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, meta, st, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, meta, st, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kmon:", err)
 		os.Exit(1)

@@ -19,12 +19,14 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "decode workers (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lockorder trace.ktr")
+		fmt.Fprintln(os.Stderr, "usage: lockorder [flags] trace.ktr")
+		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	trace, _, _, err := ktrace.OpenTraceFile(flag.Arg(0))
+	trace, _, _, err := ktrace.OpenTraceFileParallel(flag.Arg(0), *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockorder:", err)
 		os.Exit(1)

@@ -1,0 +1,131 @@
+// Command tracecolld is the long-running collector daemon: many traced
+// systems stream their sealed buffers to it concurrently (tracerelay
+// -send, ideally with -reconnect), and it runs incremental sliding-window
+// analysis over the merged stream while optionally spilling every raw
+// block to a trace file. This is the paper's live-monitoring claim at
+// fleet scale: "this event log may be examined while the system is
+// running ... or streamed over the network", with bounded collector
+// memory no matter how long the session runs.
+//
+// HTTP surface (on -http):
+//
+//	/healthz        liveness
+//	/metrics        Prometheus text exposition
+//	/live/overview  cumulative per-process summary + producer states
+//	/live/windows   per-window analysis snapshots
+//
+// On SIGINT/SIGTERM the daemon force-closes producer connections
+// (reliable senders redial on their own once a collector is back),
+// drains every queued block into the analysis and the spill, and exits;
+// the spill is a well-formed .ktr openable by every offline tool.
+//
+// Usage:
+//
+//	tracecolld -listen 127.0.0.1:7042 -http 127.0.0.1:7043 -spill drained.ktr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"k42trace/internal/live"
+	"k42trace/internal/relay"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7042", "producer listen address")
+	httpAddr := flag.String("http", "127.0.0.1:7043", "metrics/snapshot HTTP address")
+	window := flag.Duration("window", 250*time.Millisecond, "analysis window width (trace time)")
+	maxWindows := flag.Int("max-windows", 32, "live windows kept before eviction")
+	queue := flag.Int("queue", 64, "per-producer ingest queue depth, blocks")
+	slow := flag.Duration("slow", 5*time.Second, "how long a producer may wait on a full queue before disconnection")
+	cpuSlots := flag.Int("cpu-slots", 256, "total remapped CPU slots across all producers")
+	spillPath := flag.String("spill", "", "spill every accepted block to this trace file")
+	watch := flag.String("watch", "", "comma-separated pids to keep per-window time breakdowns for")
+	flag.Parse()
+
+	opt := live.Options{
+		Window:         *window,
+		MaxWindows:     *maxWindows,
+		QueueBlocks:    *queue,
+		EnqueueTimeout: *slow,
+		CPUSlots:       *cpuSlots,
+	}
+	if *watch != "" {
+		for _, s := range strings.Split(*watch, ",") {
+			pid, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracecolld: bad -watch pid %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			opt.WatchPids = append(opt.WatchPids, pid)
+		}
+	}
+	var spill *os.File
+	if *spillPath != "" {
+		f, err := os.Create(*spillPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecolld:", err)
+			os.Exit(1)
+		}
+		spill = f
+		opt.Spill = f
+	}
+
+	c := live.NewCollector(opt)
+	srv, err := relay.ListenConns(*listen, c.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecolld:", err)
+		os.Exit(1)
+	}
+	web := &http.Server{Addr: *httpAddr, Handler: c.Mux()}
+	webErr := make(chan error, 1)
+	go func() { webErr <- web.ListenAndServe() }()
+	fmt.Printf("tracecolld: producers on %s, http on %s\n", srv.Addr(), *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("tracecolld: %v, draining\n", s)
+	case err := <-webErr:
+		fmt.Fprintln(os.Stderr, "tracecolld: http:", err)
+	}
+
+	// Force-close producer connections (their read loops end, queues
+	// close), then wait for every queued block to reach analysis + spill.
+	srv.CloseNow()
+	if err := c.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecolld: spill:", err)
+	}
+	if spill != nil {
+		if err := spill.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecolld: spill:", err)
+		}
+	}
+	web.Close()
+
+	snap := c.Snapshot()
+	var blocks, events, garbled, stuck uint64
+	for _, p := range snap.Producers {
+		blocks += p.Blocks
+		events += p.Events
+		garbled += p.Garbled
+		stuck += p.StuckSeals
+	}
+	fmt.Printf("tracecolld: %d producers, %d blocks, %d events (%d garbled, %d stuck-seal blocks)\n",
+		len(snap.Producers), blocks, events, garbled, stuck)
+	if *spillPath != "" {
+		fmt.Printf("tracecolld: spilled to %s\n", *spillPath)
+	}
+	for reason, n := range snap.Disconnects {
+		fmt.Printf("tracecolld: disconnects %s: %d\n", reason, n)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	ktrace "k42trace"
 	"k42trace/internal/faultinject"
@@ -44,6 +45,9 @@ func main() {
 	tear := flag.Float64("tear", 0, "sender: probability of tearing a block write")
 	fflip := flag.Float64("flip", 0, "sender: probability of flipping one bit in a block")
 	zero := flag.Float64("zero", 0, "sender: probability of zeroing a span of a block")
+	reconnect := flag.Bool("reconnect", false, "sender: redial with backoff if the collector drops, re-sending the failed block")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "sender: initial reconnect backoff (doubles up to 2s)")
+	attempts := flag.Int("attempts", 8, "sender: dial/write attempts per block before giving up")
 	flag.Parse()
 	faults := faultinject.StreamFaults{
 		Seed: *chaosSeed, DropProb: *drop, DupProb: *dup, ReorderWindow: *reorder,
@@ -92,8 +96,18 @@ func main() {
 			}
 		}
 		done := make(chan error, 1)
+		var rstats relay.ReliableStats
 		go func() {
-			_, err := relay.SendThrough(tr, *send, wrap)
+			var err error
+			if *reconnect {
+				rstats, err = relay.SendReliable(tr, *send, relay.ReliableOptions{
+					Wrap:           wrap,
+					InitialBackoff: *backoff,
+					MaxAttempts:    *attempts,
+				})
+			} else {
+				_, err = relay.SendThrough(tr, *send, wrap)
+			}
 			done <- err
 		}()
 		res, err := k.Run(sdet.Workload(*cpus, sdet.DefaultParams()))
@@ -108,6 +122,10 @@ func main() {
 		}
 		fmt.Printf("streamed %d events (throughput %.0f scripts/hour)\n",
 			res.TraceEvents, res.Throughput())
+		if *reconnect {
+			fmt.Printf("reliable: %d blocks, %d dials, %d retries, %d dropped\n",
+				rstats.Blocks, rstats.Dials, rstats.Retries, rstats.Dropped)
+		}
 		if inj != nil {
 			fmt.Printf("chaos (seed %d): %s\n", *chaosSeed, inj.Stats())
 		}

@@ -39,6 +39,12 @@ type MemReport struct {
 	Samples int
 	Totals  MemRow
 	trace   *Trace
+	// agg/order back the incremental observe path; Rows is materialized
+	// from them by finish (or snapshotRows). Merge operates on finished
+	// Rows directly, as the parallel pipeline always merges finished
+	// partial reports.
+	agg   map[uint64]*MemRow
+	order []uint64
 }
 
 // MemProfile aggregates TRC_MEM_HWC samples by symbol.
@@ -46,38 +52,56 @@ func (t *Trace) MemProfile() *MemReport {
 	return t.memProfileOf(t.Events)
 }
 
+// newMemReport returns an empty hardware-counter accumulator.
+func newMemReport(t *Trace) *MemReport {
+	return &MemReport{trace: t, agg: map[uint64]*MemRow{}}
+}
+
+// observe folds one event into the report if it is a hardware-counter
+// sample; other events are ignored.
+func (rep *MemReport) observe(e *event.Event) {
+	if e.Major() != event.MajorMem || e.Minor() != ksim.EvMemHWC || len(e.Data) < 5 {
+		return
+	}
+	sym := e.Data[0]
+	r := rep.agg[sym]
+	if r == nil {
+		r = &MemRow{SymID: sym}
+		rep.agg[sym] = r
+		rep.order = append(rep.order, sym)
+	}
+	r.Cycles += e.Data[1]
+	r.Instr += e.Data[2]
+	r.Misses += e.Data[3]
+	r.Remote += e.Data[4]
+	rep.Totals.Cycles += e.Data[1]
+	rep.Totals.Instr += e.Data[2]
+	rep.Totals.Misses += e.Data[3]
+	rep.Totals.Remote += e.Data[4]
+	rep.Samples++
+}
+
+// snapshotRows materializes the sorted rows with symbol names resolved at
+// snapshot time, without touching the accumulator.
+func (rep *MemReport) snapshotRows() []MemRow {
+	rows := make([]MemRow, 0, len(rep.order))
+	for _, sym := range rep.order {
+		r := *rep.agg[sym]
+		r.Name = rep.trace.SymName(sym)
+		rows = append(rows, r)
+	}
+	sortMemRows(rows)
+	return rows
+}
+
 // memProfileOf aggregates one event stream; sample attribution has no
 // cross-event state, so any partition of the trace merges exactly.
 func (t *Trace) memProfileOf(evs []event.Event) *MemReport {
-	agg := map[uint64]*MemRow{}
-	var order []uint64
-	rep := &MemReport{trace: t}
+	rep := newMemReport(t)
 	for i := range evs {
-		e := &evs[i]
-		if e.Major() != event.MajorMem || e.Minor() != ksim.EvMemHWC || len(e.Data) < 5 {
-			continue
-		}
-		sym := e.Data[0]
-		r := agg[sym]
-		if r == nil {
-			r = &MemRow{SymID: sym, Name: t.SymName(sym)}
-			agg[sym] = r
-			order = append(order, sym)
-		}
-		r.Cycles += e.Data[1]
-		r.Instr += e.Data[2]
-		r.Misses += e.Data[3]
-		r.Remote += e.Data[4]
-		rep.Totals.Cycles += e.Data[1]
-		rep.Totals.Instr += e.Data[2]
-		rep.Totals.Misses += e.Data[3]
-		rep.Totals.Remote += e.Data[4]
-		rep.Samples++
+		rep.observe(&evs[i])
 	}
-	for _, sym := range order {
-		rep.Rows = append(rep.Rows, *agg[sym])
-	}
-	sortMemRows(rep.Rows)
+	rep.Rows = rep.snapshotRows()
 	return rep
 }
 

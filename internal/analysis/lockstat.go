@@ -66,57 +66,80 @@ func (t *Trace) LockStat() *LockReport {
 // keyed per (cpu, lock), so per-CPU streams are self-contained: a hold
 // spanning a block boundary still pairs up inside its own stream).
 func (t *Trace) lockStatOf(evs []event.Event, maxCPU int) *LockReport {
-	type key struct {
-		lock, chain, pid uint64
-	}
-	agg := map[key]*LockRow{}
-	var order []key
+	acc := newLockAcc()
+	Walk(evs, maxCPU, Hooks{Event: acc.event})
+	return acc.report(t)
+}
+
+// lockKey identifies one report row: a lock acquired from a call chain in
+// a domain.
+type lockKey struct {
+	lock, chain, pid uint64
+}
+
+// cpuLock keys the acquisition-to-release pairing state.
+type cpuLock struct {
+	cpu  int
+	lock uint64
+}
+
+// lockAcc accumulates lock contention incrementally. The pairing state in
+// lastAcq is why the live path keeps one accumulator alive across block
+// feeds: a hold spanning a block boundary still pairs with its
+// acquisition, exactly as in a single whole-stream walk.
+type lockAcc struct {
+	agg   map[lockKey]*LockRow
+	order []lockKey
 	// lastAcq remembers the last contended acquisition per (cpu, lock) so
 	// the following release's hold time lands on the right row.
-	type cpuLock struct {
-		cpu  int
-		lock uint64
+	lastAcq map[cpuLock]lockKey
+}
+
+func newLockAcc() *lockAcc {
+	return &lockAcc{agg: map[lockKey]*LockRow{}, lastAcq: map[cpuLock]lockKey{}}
+}
+
+func (a *lockAcc) event(e *event.Event, st *CPUState) {
+	if e.Major() != event.MajorLock {
+		return
 	}
-	lastAcq := map[cpuLock]key{}
-	Walk(evs, maxCPU, Hooks{
-		Event: func(e *event.Event, st *CPUState) {
-			if e.Major() != event.MajorLock {
-				return
-			}
-			switch e.Minor() {
-			case ksim.EvLockAcquired:
-				if len(e.Data) < 4 {
-					return
-				}
-				k := key{lock: e.Data[0], chain: e.Data[3], pid: st.DomainPid()}
-				r := agg[k]
-				if r == nil {
-					r = &LockRow{LockID: k.lock, ChainID: k.chain, Pid: k.pid}
-					agg[k] = r
-					order = append(order, k)
-				}
-				wait, spins := e.Data[1], e.Data[2]
-				r.Count++
-				r.TotalWaitNs += wait
-				r.Spins += spins
-				if wait > r.MaxWaitNs {
-					r.MaxWaitNs = wait
-				}
-				lastAcq[cpuLock{e.CPU, k.lock}] = k
-			case ksim.EvLockRelease:
-				if len(e.Data) < 2 {
-					return
-				}
-				if k, ok := lastAcq[cpuLock{e.CPU, e.Data[0]}]; ok {
-					agg[k].HoldNs += e.Data[1]
-					delete(lastAcq, cpuLock{e.CPU, e.Data[0]})
-				}
-			}
-		},
-	})
+	switch e.Minor() {
+	case ksim.EvLockAcquired:
+		if len(e.Data) < 4 {
+			return
+		}
+		k := lockKey{lock: e.Data[0], chain: e.Data[3], pid: st.DomainPid()}
+		r := a.agg[k]
+		if r == nil {
+			r = &LockRow{LockID: k.lock, ChainID: k.chain, Pid: k.pid}
+			a.agg[k] = r
+			a.order = append(a.order, k)
+		}
+		wait, spins := e.Data[1], e.Data[2]
+		r.Count++
+		r.TotalWaitNs += wait
+		r.Spins += spins
+		if wait > r.MaxWaitNs {
+			r.MaxWaitNs = wait
+		}
+		a.lastAcq[cpuLock{e.CPU, k.lock}] = k
+	case ksim.EvLockRelease:
+		if len(e.Data) < 2 {
+			return
+		}
+		if k, ok := a.lastAcq[cpuLock{e.CPU, e.Data[0]}]; ok {
+			a.agg[k].HoldNs += e.Data[1]
+			delete(a.lastAcq, cpuLock{e.CPU, e.Data[0]})
+		}
+	}
+}
+
+// report materializes a sorted report from the accumulated rows. It copies
+// row values, so the accumulator may keep accumulating afterwards.
+func (a *lockAcc) report(t *Trace) *LockReport {
 	rep := &LockReport{trace: t}
-	for _, k := range order {
-		rep.Rows = append(rep.Rows, *agg[k])
+	for _, k := range a.order {
+		rep.Rows = append(rep.Rows, *a.agg[k])
 	}
 	rep.Sort(ByTime) // Figure 7's default ordering
 	return rep

@@ -40,43 +40,74 @@ func (t *Trace) Overview() []ProcSummary {
 // per-CPU partial overviews combine with MergeOverview into exactly the
 // whole-trace result.
 func (t *Trace) overviewOf(evs []event.Event, maxCPU int) []ProcSummary {
-	agg := map[uint64]*ProcSummary{}
-	var order []uint64
-	get := func(pid uint64) *ProcSummary {
-		s := agg[pid]
-		if s == nil {
-			s = &ProcSummary{Pid: pid, Name: t.ProcName(pid)}
-			agg[pid] = s
-			order = append(order, pid)
-		}
-		return s
+	acc := newOverviewAcc()
+	Walk(evs, maxCPU, acc.hooks())
+	return acc.rows(t)
+}
+
+// overviewAcc accumulates the overview incrementally. It is the shared
+// core of the one-shot overviewOf and the live Windowed engine, which
+// keeps an accumulator alive across block feeds. Aggregation is
+// commutative sums keyed by pid, so the result is independent of how the
+// stream was chunked.
+type overviewAcc struct {
+	agg   map[uint64]*ProcSummary
+	order []uint64
+}
+
+func newOverviewAcc() *overviewAcc {
+	return &overviewAcc{agg: map[uint64]*ProcSummary{}}
+}
+
+func (a *overviewAcc) get(pid uint64) *ProcSummary {
+	s := a.agg[pid]
+	if s == nil {
+		s = &ProcSummary{Pid: pid}
+		a.agg[pid] = s
+		a.order = append(a.order, pid)
 	}
-	Walk(evs, maxCPU, Hooks{
-		Span: func(cpu int, st *CPUState, from, to uint64) {
-			d := to - from
-			s := get(st.Pid)
-			switch st.Mode() {
-			case ModeUser:
-				s.UserNs += d
-			case ModeSyscall, ModePgflt, ModeIRQ:
-				s.KernelNs += d
-			case ModeIPC:
-				s.IPCNs += d
-			case ModeLockWait:
-				s.LockNs += d
-			case ModeIdle:
-				s.IdleNs += d
-			}
-		},
-		Event: func(e *event.Event, st *CPUState) {
-			if e.Major() != event.MajorControl {
-				get(st.Pid).Events++
-			}
-		},
-	})
-	out := make([]ProcSummary, 0, len(order))
-	for _, pid := range order {
-		out = append(out, *agg[pid])
+	return s
+}
+
+func (a *overviewAcc) span(st *CPUState, from, to uint64) {
+	d := to - from
+	s := a.get(st.Pid)
+	switch st.Mode() {
+	case ModeUser:
+		s.UserNs += d
+	case ModeSyscall, ModePgflt, ModeIRQ:
+		s.KernelNs += d
+	case ModeIPC:
+		s.IPCNs += d
+	case ModeLockWait:
+		s.LockNs += d
+	case ModeIdle:
+		s.IdleNs += d
+	}
+}
+
+func (a *overviewAcc) event(e *event.Event, st *CPUState) {
+	if e.Major() != event.MajorControl {
+		a.get(st.Pid).Events++
+	}
+}
+
+func (a *overviewAcc) hooks() Hooks {
+	return Hooks{
+		Span:  func(cpu int, st *CPUState, from, to uint64) { a.span(st, from, to) },
+		Event: a.event,
+	}
+}
+
+// rows materializes the sorted summary table. Process names resolve
+// against t at materialization time, not accumulation time: in a live
+// stream the naming events may arrive after the first counts for a pid.
+func (a *overviewAcc) rows(t *Trace) []ProcSummary {
+	out := make([]ProcSummary, 0, len(a.order))
+	for _, pid := range a.order {
+		s := *a.agg[pid]
+		s.Name = t.ProcName(pid)
+		out = append(out, s)
 	}
 	sortOverview(out)
 	return out

@@ -44,19 +44,30 @@ func (t *Trace) Profile(pid uint64) *Profile {
 // finish. Sample counting has no cross-event state, so any partition of
 // the trace profiles independently and merges.
 func (t *Trace) profileOf(pid uint64, evs []event.Event) *Profile {
-	p := &Profile{Pid: pid, samples: map[uint64]int{}}
+	p := newProfile(pid)
 	for i := range evs {
-		e := &evs[i]
-		if e.Major() != event.MajorSample || e.Minor() != ksim.EvSamplePC || len(e.Data) < 2 {
-			continue
-		}
-		if pid != ^uint64(0) && e.Data[1] != pid {
-			continue
-		}
-		p.samples[e.Data[0]]++
-		p.Total++
+		p.observe(&evs[i])
 	}
 	return p
+}
+
+// newProfile returns an empty profile accumulator for one pid filter.
+func newProfile(pid uint64) *Profile {
+	return &Profile{Pid: pid, samples: map[uint64]int{}}
+}
+
+// observe counts one event into the profile if it is a PC sample passing
+// the pid filter; any other event is ignored, so a live feed can push
+// every event through unconditionally.
+func (p *Profile) observe(e *event.Event) {
+	if e.Major() != event.MajorSample || e.Minor() != ksim.EvSamplePC || len(e.Data) < 2 {
+		return
+	}
+	if p.Pid != ^uint64(0) && e.Data[1] != p.Pid {
+		return
+	}
+	p.samples[e.Data[0]]++
+	p.Total++
 }
 
 // Merge folds another partial profile (same pid filter) into p. Call
@@ -72,20 +83,27 @@ func (p *Profile) Merge(o *Profile) {
 // Ties are broken by name then symbol id, so the ordering is total and
 // independent of map iteration order.
 func (p *Profile) finish(t *Trace) {
-	p.Rows = p.Rows[:0]
-	for sym, n := range p.samples {
-		p.Rows = append(p.Rows, ProfileRow{Count: n, SymID: sym, Name: t.SymName(sym)})
-	}
-	sort.Slice(p.Rows, func(i, j int) bool {
-		if p.Rows[i].Count != p.Rows[j].Count {
-			return p.Rows[i].Count > p.Rows[j].Count
-		}
-		if p.Rows[i].Name != p.Rows[j].Name {
-			return p.Rows[i].Name < p.Rows[j].Name
-		}
-		return p.Rows[i].SymID < p.Rows[j].SymID
-	})
+	p.Rows = p.snapshotRows(t)
 	p.mapped = t.ProcName(p.Pid)
+}
+
+// snapshotRows builds the sorted histogram without touching the
+// accumulator, so a live snapshot can be taken while sampling continues.
+func (p *Profile) snapshotRows(t *Trace) []ProfileRow {
+	rows := make([]ProfileRow, 0, len(p.samples))
+	for sym, n := range p.samples {
+		rows = append(rows, ProfileRow{Count: n, SymID: sym, Name: t.SymName(sym)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].SymID < rows[j].SymID
+	})
+	return rows
 }
 
 // Format writes the histogram in Figure 6's layout.

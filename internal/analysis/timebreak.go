@@ -81,110 +81,154 @@ func (t *Trace) TimeBreak(pid uint64) *TimeBreak {
 // and returns the I/O carry records for the one cross-CPU computation
 // (disk waits) to be resolved after all streams are in.
 func (t *Trace) timeBreakOf(pid uint64, evs []event.Event, maxCPU int) (*TimeBreak, []ioRec) {
-	tb := &TimeBreak{
+	acc := t.newTimeBreakAcc(pid)
+	Walk(evs, maxCPU, Hooks{Span: acc.span, Event: acc.event})
+	acc.tb.Name = t.ProcName(pid)
+	return acc.tb, acc.recs
+}
+
+// timeBreakAcc accumulates one pid's breakdown incrementally. It holds the
+// trace it resolves thread ownership against, so in the live path the
+// ThreadPid map may still be growing while the accumulator runs.
+type timeBreakAcc struct {
+	t    *Trace
+	pid  uint64
+	tb   *TimeBreak
+	recs []ioRec
+}
+
+func (t *Trace) newTimeBreakAcc(pid uint64) *timeBreakAcc {
+	return &timeBreakAcc{t: t, pid: pid, tb: &TimeBreak{
 		Pid:      pid,
-		Name:     t.ProcName(pid),
 		Syscalls: map[string]*CallStats{},
 		IPC:      map[string]*CallStats{},
 		Serviced: map[string]*CallStats{},
+	}}
+}
+
+func (a *timeBreakAcc) span(cpu int, st *CPUState, from, to uint64) {
+	tb, pid := a.tb, a.pid
+	d := to - from
+	mode := st.Mode()
+	if st.Pid == pid {
+		switch mode {
+		case ModeUser:
+			tb.UserNs += d
+		case ModeSyscall:
+			if nr, ok := st.Syscall(); ok {
+				getCS(tb.Syscalls, "SC"+ksim.SyscallName(nr)).Ns += d
+			}
+			tb.ExProcessNs += d
+		case ModeIPC, ModeLockWait:
+			if nr, ok := st.Syscall(); ok {
+				getCS(tb.IPC, "SC"+ksim.SyscallName(nr)).Ns += d
+			} else {
+				getCS(tb.IPC, "direct").Ns += d
+			}
+			tb.ExProcessNs += d
+		case ModePgflt:
+			tb.PageFault.Ns += d
+			tb.ExProcessNs += d
+		case ModeIRQ:
+			tb.Interrupts.Ns += d
+			tb.ExProcessNs += d
+		}
 	}
-	var recs []ioRec
-	Walk(evs, maxCPU, Hooks{
-		Span: func(cpu int, st *CPUState, from, to uint64) {
-			d := to - from
-			mode := st.Mode()
-			if st.Pid == pid {
-				switch mode {
-				case ModeUser:
-					tb.UserNs += d
-				case ModeSyscall:
-					if nr, ok := st.Syscall(); ok {
-						getCS(tb.Syscalls, "SC"+ksim.SyscallName(nr)).Ns += d
-					}
-					tb.ExProcessNs += d
-				case ModeIPC, ModeLockWait:
-					if nr, ok := st.Syscall(); ok {
-						getCS(tb.IPC, "SC"+ksim.SyscallName(nr)).Ns += d
-					} else {
-						getCS(tb.IPC, "direct").Ns += d
-					}
-					tb.ExProcessNs += d
-				case ModePgflt:
-					tb.PageFault.Ns += d
-					tb.ExProcessNs += d
-				case ModeIRQ:
-					tb.Interrupts.Ns += d
-					tb.ExProcessNs += d
-				}
+	// Server-side attribution: time in a domain equal to pid while
+	// another process is scheduled.
+	if st.Pid != pid && st.DomainPid() == pid &&
+		(mode == ModeIPC || mode == ModeLockWait) {
+		if nr, ok := st.Syscall(); ok {
+			getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Ns += d
+		} else {
+			getCS(tb.Serviced, "direct").Ns += d
+		}
+	}
+}
+
+func (a *timeBreakAcc) event(e *event.Event, st *CPUState) {
+	tb, pid := a.tb, a.pid
+	// Disk waits are keyed by thread id, not by scheduled pid: the
+	// wake event fires on whatever CPU handles the completion, so
+	// only record the carry here and pair it up in resolveDiskWait.
+	if e.Major() == event.MajorIO && len(e.Data) >= 2 &&
+		(e.Minor() == ksim.EvIOBlock || e.Minor() == ksim.EvIOWake) &&
+		a.t.ThreadPid[e.Data[1]] == pid {
+		a.recs = append(a.recs, ioRec{
+			block: e.Minor() == ksim.EvIOBlock,
+			tid:   e.Data[1],
+			time:  e.Time,
+			cpu:   e.CPU,
+		})
+	}
+	if st.Pid != pid {
+		// A server's Serviced calls: count PPC calls targeting it.
+		if e.Major() == event.MajorException && e.Minor() == ksim.EvPPCCall &&
+			len(e.Data) >= 1 && e.Data[0] == pid {
+			if nr, ok := st.Syscall(); ok {
+				getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Calls++
+			} else {
+				getCS(tb.Serviced, "direct").Calls++
 			}
-			// Server-side attribution: time in a domain equal to pid while
-			// another process is scheduled.
-			if st.Pid != pid && st.DomainPid() == pid &&
-				(mode == ModeIPC || mode == ModeLockWait) {
-				if nr, ok := st.Syscall(); ok {
-					getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Ns += d
-				} else {
-					getCS(tb.Serviced, "direct").Ns += d
-				}
+		}
+		if st.DomainPid() == pid && st.Mode() == ModeIPC {
+			if nr, ok := st.Syscall(); ok {
+				getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Events++
 			}
-		},
-		Event: func(e *event.Event, st *CPUState) {
-			// Disk waits are keyed by thread id, not by scheduled pid: the
-			// wake event fires on whatever CPU handles the completion, so
-			// only record the carry here and pair it up in resolveDiskWait.
-			if e.Major() == event.MajorIO && len(e.Data) >= 2 &&
-				(e.Minor() == ksim.EvIOBlock || e.Minor() == ksim.EvIOWake) &&
-				t.ThreadPid[e.Data[1]] == pid {
-				recs = append(recs, ioRec{
-					block: e.Minor() == ksim.EvIOBlock,
-					tid:   e.Data[1],
-					time:  e.Time,
-					cpu:   e.CPU,
-				})
+		}
+		return
+	}
+	switch e.Major() {
+	case event.MajorSyscall:
+		if e.Minor() == ksim.EvSyscallEnter && len(e.Data) >= 2 {
+			getCS(tb.Syscalls, "SC"+ksim.SyscallName(e.Data[1])).Calls++
+		}
+	case event.MajorException:
+		switch e.Minor() {
+		case ksim.EvPPCCall:
+			if nr, ok := st.Syscall(); ok {
+				getCS(tb.IPC, "SC"+ksim.SyscallName(nr)).Calls++
+			} else {
+				getCS(tb.IPC, "direct").Calls++
 			}
-			if st.Pid != pid {
-				// A server's Serviced calls: count PPC calls targeting it.
-				if e.Major() == event.MajorException && e.Minor() == ksim.EvPPCCall &&
-					len(e.Data) >= 1 && e.Data[0] == pid {
-					if nr, ok := st.Syscall(); ok {
-						getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Calls++
-					} else {
-						getCS(tb.Serviced, "direct").Calls++
-					}
-				}
-				if st.DomainPid() == pid && st.Mode() == ModeIPC {
-					if nr, ok := st.Syscall(); ok {
-						getCS(tb.Serviced, "SC"+ksim.SyscallName(nr)).Events++
-					}
-				}
-				return
-			}
-			switch e.Major() {
-			case event.MajorSyscall:
-				if e.Minor() == ksim.EvSyscallEnter && len(e.Data) >= 2 {
-					getCS(tb.Syscalls, "SC"+ksim.SyscallName(e.Data[1])).Calls++
-				}
-			case event.MajorException:
-				switch e.Minor() {
-				case ksim.EvPPCCall:
-					if nr, ok := st.Syscall(); ok {
-						getCS(tb.IPC, "SC"+ksim.SyscallName(nr)).Calls++
-					} else {
-						getCS(tb.IPC, "direct").Calls++
-					}
-				case ksim.EvPgflt:
-					tb.PageFault.Calls++
-				case ksim.EvIRQEnter:
-					tb.Interrupts.Calls++
-				}
-			}
-			// Count events observed while inside a syscall for this pid.
-			if nr, ok := st.Syscall(); ok && st.Mode() != ModeUser {
-				getCS(tb.Syscalls, "SC"+ksim.SyscallName(nr)).Events++
-			}
-		},
-	})
-	return tb, recs
+		case ksim.EvPgflt:
+			tb.PageFault.Calls++
+		case ksim.EvIRQEnter:
+			tb.Interrupts.Calls++
+		}
+	}
+	// Count events observed while inside a syscall for this pid.
+	if nr, ok := st.Syscall(); ok && st.Mode() != ModeUser {
+		getCS(tb.Syscalls, "SC"+ksim.SyscallName(nr)).Events++
+	}
+}
+
+// snapshot returns a deep copy of the current breakdown with names and
+// disk waits resolved, leaving the accumulator free to keep accumulating.
+func (a *timeBreakAcc) snapshot() *TimeBreak {
+	tb := a.tb.clone()
+	tb.Name = a.t.ProcName(a.pid)
+	recs := append([]ioRec(nil), a.recs...)
+	tb.resolveDiskWait(recs)
+	return tb
+}
+
+// clone deep-copies the breakdown (fresh maps and CallStats values).
+func (tb *TimeBreak) clone() *TimeBreak {
+	c := *tb
+	c.Syscalls = cloneCallMap(tb.Syscalls)
+	c.IPC = cloneCallMap(tb.IPC)
+	c.Serviced = cloneCallMap(tb.Serviced)
+	return &c
+}
+
+func cloneCallMap(m map[string]*CallStats) map[string]*CallStats {
+	out := make(map[string]*CallStats, len(m))
+	for k, v := range m {
+		cs := *v
+		out[k] = &cs
+	}
+	return out
 }
 
 // resolveDiskWait replays the carried IO_BLOCK/IO_WAKE records in global

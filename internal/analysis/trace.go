@@ -30,14 +30,23 @@ type Trace struct {
 // trace clock rate (from the file header); reg resolves event descriptions
 // (usually event.Default).
 func Build(evs []event.Event, hz uint64, reg *event.Registry) *Trace {
+	t := NewTrace(hz, reg)
+	t.Events = evs
+	t.Absorb(evs)
+	return t
+}
+
+// NewTrace returns an empty naming context with no events: the starting
+// point for a live collector, which grows it with Absorb as blocks arrive
+// instead of scanning a complete stream up front.
+func NewTrace(hz uint64, reg *event.Registry) *Trace {
 	if hz == 0 {
 		hz = 1e9
 	}
 	if reg == nil {
 		reg = event.Default
 	}
-	t := &Trace{
-		Events:    evs,
+	return &Trace{
 		ClockHz:   hz,
 		Reg:       reg,
 		Syms:      map[uint64]string{},
@@ -46,6 +55,14 @@ func Build(evs []event.Event, hz uint64, reg *event.Registry) *Trace {
 		Procs:     map[uint64]string{PidKernelID: "kernel", PidBaseServersID: "baseServers"},
 		ThreadPid: map[uint64]uint64{},
 	}
+}
+
+// Absorb scans a chunk of events for the self-describing definition
+// events (SYMDEF, CHAINDEF, IO_NAME, RUN_UL_LOADER, thread ownership) and
+// folds them into the naming context. Build calls it once over the whole
+// stream; a live collector calls it per block, so names resolve as soon
+// as their definitions have arrived.
+func (t *Trace) Absorb(evs []event.Event) {
 	for i := range evs {
 		e := &evs[i]
 		switch e.Major() {
@@ -84,7 +101,6 @@ func Build(evs []event.Event, hz uint64, reg *event.Registry) *Trace {
 			}
 		}
 	}
-	return t
 }
 
 // Well-known pids re-exported for naming.

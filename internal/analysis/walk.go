@@ -147,6 +147,16 @@ func NewStreamWalker(maxCPU int, h Hooks) *StreamWalker {
 	return &StreamWalker{states: make([]CPUState, maxCPU+1), hooks: h}
 }
 
+// EnsureCPUs grows the walker to cover CPUs 0..n-1, keeping existing
+// per-CPU state intact. Feed ignores events on CPUs the walker was not
+// sized for, so a live collector whose CPU space grows as producers
+// attach must call this before feeding a new producer's blocks.
+func (w *StreamWalker) EnsureCPUs(n int) {
+	for len(w.states) < n {
+		w.states = append(w.states, CPUState{})
+	}
+}
+
 // Feed replays a chunk of events, continuing from wherever the previous
 // chunk left each CPU.
 func (w *StreamWalker) Feed(evs []event.Event) {

@@ -1,0 +1,456 @@
+// Package live is the engine behind tracecolld: a long-running collector
+// that accepts many concurrent producers over the relay wire format and
+// feeds every sealed block through incremental sliding-window analysis,
+// realizing the paper's claim that "this event log may be examined while
+// the system is running ... or streamed over the network" — for a whole
+// cluster of traced systems at once, with bounded memory.
+//
+// Each producer gets a contiguous slice of the collector's CPU space, so
+// events from different machines never collide in the per-CPU walker
+// state; pids are deliberately not remapped (the per-process summary
+// aggregates same-named workloads across producers, which is the fleet
+// view an operator wants). Analysis and the optional raw-block spill are
+// applied under one collector lock in arrival order, which makes the
+// spill file an exact offline replica of what the live engine saw: the
+// cumulative live overview of a drained session equals the offline
+// Overview of the spilled .ktr, row for row.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/relay"
+	"k42trace/internal/stream"
+)
+
+// Options configures a Collector. Zero values get defaults.
+type Options struct {
+	// Window is the analysis window width in trace time (default 250ms);
+	// MaxWindows bounds how many are kept live (default 32). Older windows
+	// are evicted, never accumulated — that is the memory bound.
+	Window     time.Duration
+	MaxWindows int
+	// QueueBlocks is the per-producer ingest queue depth (default 64
+	// blocks). EnqueueTimeout (default 5s) is how long a producer's reader
+	// may wait on a full queue before the producer is disconnected as too
+	// fast for the analysis to keep up ("slow" in the disconnect counts,
+	// since it is the collector that is slow).
+	QueueBlocks    int
+	EnqueueTimeout time.Duration
+	// CPUSlots is the size of the collector's remapped CPU space (default
+	// 256, max 65536 — the wire format's CPU field is 16 bits). Each
+	// connection permanently claims meta.CPUs slots; when the space is
+	// exhausted new producers are rejected ("cpu-slots").
+	CPUSlots int
+	// WatchPids enables per-window time breakdowns for these processes.
+	WatchPids []uint64
+	// Spill, if set, receives every accepted block in trace-file format,
+	// in arrival order with remapped CPU ids. The caller owns closing it.
+	Spill io.Writer
+	// Reg is the event registry (nil = default).
+	Reg *event.Registry
+}
+
+func (o *Options) defaults() {
+	if o.Window <= 0 {
+		o.Window = 250 * time.Millisecond
+	}
+	if o.MaxWindows <= 0 {
+		o.MaxWindows = 32
+	}
+	if o.QueueBlocks <= 0 {
+		o.QueueBlocks = 64
+	}
+	if o.EnqueueTimeout <= 0 {
+		o.EnqueueTimeout = 5 * time.Second
+	}
+	if o.CPUSlots <= 0 {
+		o.CPUSlots = 256
+	}
+	if o.CPUSlots > 1<<16 {
+		o.CPUSlots = 1 << 16
+	}
+}
+
+// Collector ingests relay streams from many producers concurrently.
+// Create with NewCollector, serve with relay.ListenConns(addr,
+// c.Handler()), shut down with server CloseNow followed by c.Drain().
+type Collector struct {
+	opt Options
+
+	mu          sync.Mutex
+	meta        stream.Meta // fixed by the first producer; CPUs == CPUSlots
+	win         *analysis.Windowed
+	spill       *stream.Writer
+	spillErr    error
+	nextCPU   int
+	producers map[uint64]*producer
+	order     []uint64
+	draining  bool
+
+	// disconnects has its own lock so a wedged analysis path (mu held)
+	// can never block recording the disconnect that resolves the wedge.
+	dmu         sync.Mutex
+	disconnects map[string]uint64
+
+	wg sync.WaitGroup
+}
+
+// producer is the per-connection ingest state. Counters are atomics so
+// metrics rendering never blocks the ingest path.
+type producer struct {
+	id      uint64
+	remote  string
+	cpuBase int
+	cpus    int
+	queue   chan feedItem
+
+	connected atomic.Bool
+	blocks    atomic.Uint64
+	bytes     atomic.Uint64
+	events    atomic.Uint64
+	garbled   atomic.Uint64
+	stuck     atomic.Uint64
+	reordered atomic.Uint64
+	lastTick  atomic.Uint64
+
+	lastSeq []int64 // per local CPU, -1 before the first block
+}
+
+// feedItem is one decoded block in flight between a producer's reader
+// (which decodes outside any lock) and its worker (which applies spill
+// and analysis under the collector lock).
+type feedItem struct {
+	h     stream.BlockHeader // CPU already remapped into collector space
+	words []uint64
+	evs   []event.Event
+}
+
+// NewCollector builds a collector. The analysis engine and spill writer
+// are created lazily when the first producer connects, because the
+// window width in ticks and the spill metadata depend on the producers'
+// clock rate and buffer size.
+func NewCollector(opt Options) *Collector {
+	opt.defaults()
+	return &Collector{
+		opt:         opt,
+		producers:   map[uint64]*producer{},
+		disconnects: map[string]uint64{},
+	}
+}
+
+// Handler returns the connection handler to pass to relay.ListenConns.
+func (c *Collector) Handler() relay.ConnHandler {
+	return func(conn relay.Conn) error {
+		p, err := c.register(conn)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			p.connected.Store(false)
+			close(p.queue)
+		}()
+		return c.serve(p, conn.Stream)
+	}
+}
+
+// register admits one connection: validates its metadata against the
+// session, claims a CPU slice, and starts its worker.
+func (c *Collector) register(conn relay.Conn) (*producer, error) {
+	meta := conn.Stream.Meta()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		c.countDisconnect("draining")
+		return nil, fmt.Errorf("live: collector draining, rejecting %v", conn.Remote)
+	}
+	if c.win == nil {
+		// First producer fixes the session geometry. Window width converts
+		// wall time to ticks at the producers' clock rate.
+		ticks := uint64(c.opt.Window.Nanoseconds()) * meta.ClockHz / 1e9
+		if ticks == 0 {
+			ticks = 1
+		}
+		c.meta = stream.Meta{BufWords: meta.BufWords, CPUs: c.opt.CPUSlots, ClockHz: meta.ClockHz}
+		c.win = analysis.NewWindowed(analysis.WindowConfig{
+			WidthTicks: ticks,
+			MaxWindows: c.opt.MaxWindows,
+			WatchPids:  c.opt.WatchPids,
+			Hz:         meta.ClockHz,
+			Reg:        c.opt.Reg,
+		})
+		if c.opt.Spill != nil {
+			wr, err := stream.NewWriter(c.opt.Spill, c.meta)
+			if err != nil {
+				c.win = nil
+				return nil, fmt.Errorf("live: opening spill: %w", err)
+			}
+			c.spill = wr
+		}
+	} else if meta.BufWords != c.meta.BufWords || meta.ClockHz != c.meta.ClockHz {
+		c.countDisconnect("meta-mismatch")
+		return nil, fmt.Errorf("live: producer %v has bufWords=%d hz=%d, session has bufWords=%d hz=%d",
+			conn.Remote, meta.BufWords, meta.ClockHz, c.meta.BufWords, c.meta.ClockHz)
+	}
+	if c.nextCPU+meta.CPUs > c.opt.CPUSlots {
+		c.countDisconnect("cpu-slots")
+		return nil, fmt.Errorf("live: out of CPU slots (%d used of %d, producer needs %d)",
+			c.nextCPU, c.opt.CPUSlots, meta.CPUs)
+	}
+	p := &producer{
+		id:      conn.ID,
+		remote:  conn.Remote.String(),
+		cpuBase: c.nextCPU,
+		cpus:    meta.CPUs,
+		queue:   make(chan feedItem, c.opt.QueueBlocks),
+		lastSeq: make([]int64, meta.CPUs),
+	}
+	for i := range p.lastSeq {
+		p.lastSeq[i] = -1
+	}
+	p.connected.Store(true)
+	c.nextCPU += meta.CPUs
+	c.producers[p.id] = p
+	c.order = append(c.order, p.id)
+	c.wg.Add(1)
+	go c.worker(p)
+	return p, nil
+}
+
+// serve is a producer's read loop: read a block, decode it with the
+// remapped CPU, enqueue for the worker. Decoding happens here — outside
+// the collector lock — so producers decode in parallel and only the
+// final apply is serialized.
+func (c *Collector) serve(p *producer, bs *stream.BlockStream) error {
+	g := bs.Meta().Geometry()
+	for {
+		h, words, err := bs.Next()
+		if err == io.EOF {
+			return nil
+		}
+		var dmg *stream.BlockDamageError
+		if errors.As(err, &dmg) {
+			// The stride kept the stream aligned: count it and keep the
+			// producer connected, the same resynchronization the offline
+			// salvager performs.
+			p.garbled.Add(1)
+			p.bytes.Add(uint64(g.BlockBytes))
+			continue
+		}
+		if err != nil {
+			c.countDisconnect("read-error")
+			return err
+		}
+		p.bytes.Add(uint64(g.BlockBytes))
+		if h.CPU < 0 || h.CPU >= p.cpus {
+			// A header that validates but names a CPU the producer doesn't
+			// have (corruption inside the CPU field): garbled, skip.
+			p.garbled.Add(1)
+			continue
+		}
+		if last := p.lastSeq[h.CPU]; last >= 0 && h.Seq <= uint64(last) {
+			// Out-of-order or re-delivered sequence number (reordering
+			// transports, at-least-once senders). Counted, not dropped: the
+			// collector is a faithful recorder and the offline salvager owns
+			// dedup, so spill and live analysis stay byte-equivalent.
+			p.reordered.Add(1)
+		} else {
+			p.lastSeq[h.CPU] = int64(h.Seq)
+		}
+		if h.Anomalous() {
+			p.stuck.Add(1)
+		}
+		wcopy := make([]uint64, len(words))
+		copy(wcopy, words)
+		h.CPU += p.cpuBase
+		evs, dst := core.DecodeBuffer(h.CPU, wcopy)
+		if dst.Garbled() {
+			p.garbled.Add(1)
+		}
+		p.blocks.Add(1)
+		p.events.Add(uint64(len(evs)))
+		for i := range evs {
+			if t := evs[i].Time; t > p.lastTick.Load() {
+				p.lastTick.Store(t)
+			}
+		}
+		item := feedItem{h: h, words: wcopy, evs: evs}
+		select {
+		case p.queue <- item:
+		default:
+			timer := time.NewTimer(c.opt.EnqueueTimeout)
+			select {
+			case p.queue <- item:
+				timer.Stop()
+			case <-timer.C:
+				c.countDisconnect("slow")
+				return fmt.Errorf("live: producer %d (%s) backlogged %v, disconnecting",
+					p.id, p.remote, c.opt.EnqueueTimeout)
+			}
+		}
+	}
+}
+
+// worker drains one producer's queue, applying spill and analysis under
+// the collector lock. It exits when the handler closes the queue, after
+// draining whatever is left — so Drain never loses accepted blocks.
+func (c *Collector) worker(p *producer) {
+	defer c.wg.Done()
+	for it := range p.queue {
+		c.mu.Lock()
+		if c.spill != nil {
+			if err := c.spill.WriteBlock(it.h, it.words); err != nil {
+				c.spillErr = err
+				c.spill = nil
+			}
+		}
+		c.win.Feed(it.evs)
+		c.mu.Unlock()
+	}
+}
+
+func (c *Collector) countDisconnect(reason string) {
+	c.dmu.Lock()
+	c.disconnects[reason]++
+	c.dmu.Unlock()
+}
+
+// disconnectCounts copies the disconnect-reason counters.
+func (c *Collector) disconnectCounts() map[string]uint64 {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	out := make(map[string]uint64, len(c.disconnects))
+	for k, v := range c.disconnects {
+		out[k] = v
+	}
+	return out
+}
+
+// Drain finishes a session: refuse new producers, wait for every
+// producer worker to apply its remaining queued blocks, and report any
+// spill error. Call it after the relay server has been closed (CloseNow
+// force-closes lingering connections, which ends their read loops and
+// closes their queues).
+func (c *Collector) Drain() error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spillErr
+}
+
+// Overview returns the cumulative per-process summary over everything
+// ingested so far (nil before the first producer). After Drain this
+// equals the offline Overview of the spilled trace file.
+func (c *Collector) Overview() []analysis.ProcSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.win == nil {
+		return nil
+	}
+	return c.win.Overview()
+}
+
+// ProducerSnapshot is one producer's state for /metrics and JSON.
+type ProducerSnapshot struct {
+	ID         uint64 `json:"id"`
+	Remote     string `json:"remote"`
+	CPUBase    int    `json:"cpu_base"`
+	CPUs       int    `json:"cpus"`
+	Connected  bool   `json:"connected"`
+	Blocks     uint64 `json:"blocks"`
+	Bytes      uint64 `json:"bytes"`
+	Events     uint64 `json:"events"`
+	Garbled    uint64 `json:"garbled_blocks"`
+	StuckSeals uint64 `json:"stuck_seal_blocks"`
+	Reordered  uint64 `json:"reordered_blocks"`
+	QueueDepth int    `json:"queue_depth"`
+	LastTick   uint64 `json:"last_tick"`
+	// LagWindows is how many analysis windows this producer's newest event
+	// trails the newest event seen from anyone.
+	LagWindows uint64 `json:"lag_windows"`
+}
+
+// Snapshot is the collector state served at /live/overview.
+type Snapshot struct {
+	ClockHz     uint64                 `json:"clock_hz"`
+	WidthTicks  uint64                 `json:"window_ticks"`
+	Stats       analysis.LiveStats     `json:"stats"`
+	Overview    []analysis.ProcSummary `json:"overview"`
+	Producers   []ProducerSnapshot     `json:"producers"`
+	Disconnects map[string]uint64      `json:"disconnects"`
+	Draining    bool                   `json:"draining"`
+}
+
+// Snapshot captures the full collector state as plain data.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Disconnects: c.disconnectCounts(),
+		Draining:    c.draining,
+	}
+	var maxTick, width uint64
+	if c.win != nil {
+		s.ClockHz = c.win.ClockHz()
+		s.WidthTicks = c.win.WidthTicks()
+		s.Stats = c.win.Stats()
+		s.Overview = c.win.Overview()
+		maxTick, width = s.Stats.MaxTick, s.WidthTicks
+	}
+	for _, id := range c.order {
+		s.Producers = append(s.Producers, c.producers[id].snapshot(maxTick, width))
+	}
+	return s
+}
+
+func (p *producer) snapshot(maxTick, width uint64) ProducerSnapshot {
+	ps := ProducerSnapshot{
+		ID:         p.id,
+		Remote:     p.remote,
+		CPUBase:    p.cpuBase,
+		CPUs:       p.cpus,
+		Connected:  p.connected.Load(),
+		Blocks:     p.blocks.Load(),
+		Bytes:      p.bytes.Load(),
+		Events:     p.events.Load(),
+		Garbled:    p.garbled.Load(),
+		StuckSeals: p.stuck.Load(),
+		Reordered:  p.reordered.Load(),
+		QueueDepth: len(p.queue),
+		LastTick:   p.lastTick.Load(),
+	}
+	if width > 0 && maxTick > ps.LastTick {
+		ps.LagWindows = (maxTick - ps.LastTick) / width
+	}
+	return ps
+}
+
+// Windows snapshots the live analysis windows, oldest first (empty
+// before the first producer).
+func (c *Collector) Windows() []analysis.WindowSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.win == nil {
+		return nil
+	}
+	return c.win.Windows()
+}
+
+// WatchedPids returns the configured watch list, sorted.
+func (c *Collector) WatchedPids() []uint64 {
+	out := append([]uint64(nil), c.opt.WatchPids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

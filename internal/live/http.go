@@ -1,0 +1,45 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Mux returns the collector's HTTP surface:
+//
+//	/healthz        liveness (200 "ok", or 503 while draining)
+//	/metrics        Prometheus text exposition
+//	/live/overview  cumulative per-process summary + producer states (JSON)
+//	/live/windows   per-window detailed snapshots, oldest first (JSON)
+//
+// Every response is built from a Snapshot taken under the collector
+// lock — plain resolved data, so a slow scraper never blocks ingest
+// longer than one snapshot.
+func (c *Collector) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Snapshot().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.WriteMetrics(w)
+	})
+	mux.HandleFunc("/live/overview", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Snapshot())
+	})
+	mux.HandleFunc("/live/windows", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Windows())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -63,6 +63,7 @@ type Server struct {
 	mu      sync.Mutex
 	errs    []error
 	closed  bool
+	conns   map[net.Conn]struct{}
 }
 
 // Listen starts a collector on addr (use "127.0.0.1:0" for an ephemeral
@@ -72,7 +73,7 @@ func Listen(addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relay: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handler: h}
+	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -88,10 +89,18 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			if err := s.handleConn(conn); err != nil && !errors.Is(err, io.EOF) {
 				s.mu.Lock()
 				s.errs = append(s.errs, err)
@@ -111,19 +120,60 @@ func (s *Server) handleConn(conn net.Conn) error {
 
 // Close stops accepting and waits for in-flight connections to finish,
 // returning any handler errors.
-func (s *Server) Close() error {
+func (s *Server) Close() error { return s.close(false) }
+
+// CloseNow stops accepting and force-closes every open producer
+// connection, then waits for the handlers to return. This is the daemon's
+// SIGTERM path: producers riding a reliable sender reconnect on their own
+// once a collector is back; waiting for them to finish naturally could
+// take forever.
+func (s *Server) CloseNow() error { return s.close(true) }
+
+func (s *Server) close(force bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	if force {
+		for conn := range s.conns {
+			conn.Close()
+		}
+	}
 	s.mu.Unlock()
 	s.ln.Close()
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return errors.Join(s.errs...)
+}
+
+// Conn identifies one producer connection for handlers that track
+// per-producer state: a unique id in accept order, the remote address,
+// and the validated block stream.
+type Conn struct {
+	ID     uint64
+	Remote net.Addr
+	Stream *stream.BlockStream
+}
+
+// ConnHandler processes one producer connection with its identity;
+// returning an error closes the connection.
+type ConnHandler func(c Conn) error
+
+// ListenConns is Listen for handlers that need per-producer identity.
+// Connection ids start at 1 and never repeat for the server's lifetime.
+func ListenConns(addr string, h ConnHandler) (*Server, error) {
+	var mu sync.Mutex
+	var next uint64
+	return Listen(addr, func(remote net.Addr, bs *stream.BlockStream) error {
+		mu.Lock()
+		next++
+		id := next
+		mu.Unlock()
+		return h(Conn{ID: id, Remote: remote, Stream: bs})
+	})
 }
 
 // SaveHandler returns a Handler that re-serializes every incoming stream

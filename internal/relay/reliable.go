@@ -1,0 +1,186 @@
+// Reliable send: the producer side of collector restarts. A plain Send
+// dies with its TCP connection; SendReliable redials with exponential
+// backoff and re-sends the block that failed, so a traced system rides
+// out a collector redeploy without losing its lossless Block-policy
+// guarantee. Every new connection opens with a fresh stream header
+// (collectors treat each connection as a self-contained stream), and a
+// block is only released back to the tracer once some connection accepted
+// it — at-least-once delivery, with the per-CPU (seq) numbering letting a
+// collector or the offline salvager drop the rare duplicate.
+package relay
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"k42trace/internal/core"
+	"k42trace/internal/stream"
+)
+
+// ReliableOptions tunes SendReliable. Zero values get defaults.
+type ReliableOptions struct {
+	// Wrap is the transport-transform hook, as in SendThrough; it is
+	// invoked once per dialed connection.
+	Wrap func(io.Writer) io.Writer
+	// InitialBackoff is the first retry delay (default 50ms); each failed
+	// attempt doubles it up to MaxBackoff (default 2s).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// MaxAttempts bounds dial-plus-write attempts per block (default 8).
+	// When a block exhausts its attempts, SendReliable gives up: it
+	// releases that block and every remaining sealed buffer unsent (so
+	// the traced system is never wedged on a full ring) and returns an
+	// error with the drop count in Stats.
+	MaxAttempts int
+	// DialTimeout bounds each dial (default 2s).
+	DialTimeout time.Duration
+	// OnRetry, if set, observes each failed attempt.
+	OnRetry func(err error, attempt int)
+}
+
+func (o *ReliableOptions) defaults() {
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+}
+
+// ReliableStats summarizes a SendReliable run.
+type ReliableStats struct {
+	Blocks    int // blocks accepted by some connection
+	Anomalies int
+	Dials     int // successful dials (>= 1 reconnection when > 1)
+	Retries   int // block writes retried after a connection died
+	Dropped   int // blocks released unsent after giving up
+}
+
+// SendReliable streams a tracer's sealed buffers to addr until the tracer
+// is stopped, reconnecting with exponential backoff whenever the
+// connection dies. Run it from its own goroutine, like Send; it returns
+// after the tracer's Sealed channel closes (or after giving up).
+func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableStats, error) {
+	opt.defaults()
+	meta := stream.Meta{
+		BufWords: tr.BufWords(),
+		CPUs:     tr.NumCPUs(),
+		ClockHz:  tr.Clock().Hz(),
+	}
+	var st ReliableStats
+	var conn net.Conn
+	var w io.Writer
+	var wr *stream.Writer
+	drop := func(conn net.Conn) {
+		if conn != nil {
+			conn.Close()
+		}
+		wr = nil
+		w = nil
+	}
+	defer func() {
+		flushWriter(w)
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	backoff := opt.InitialBackoff
+	for s := range tr.Sealed() {
+		attempt := 0
+		for {
+			if wr == nil {
+				c, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
+				if err == nil {
+					w = io.Writer(c)
+					if opt.Wrap != nil {
+						w = opt.Wrap(c)
+					}
+					wr, err = stream.NewWriter(w, meta)
+					if err != nil {
+						drop(c)
+						c = nil
+					} else {
+						conn = c
+						st.Dials++
+					}
+				}
+				if err != nil {
+					attempt++
+					if opt.OnRetry != nil {
+						opt.OnRetry(err, attempt)
+					}
+					if attempt >= opt.MaxAttempts {
+						return giveUp(tr, st, s, fmt.Errorf(
+							"relay: giving up on %s after %d attempts: %w", addr, attempt, err))
+					}
+					time.Sleep(backoff)
+					backoff = nextBackoff(backoff, opt.MaxBackoff)
+					continue
+				}
+			}
+			if err := wr.WriteSealed(s); err != nil {
+				flushWriter(w)
+				drop(conn)
+				conn = nil
+				st.Retries++
+				attempt++
+				if opt.OnRetry != nil {
+					opt.OnRetry(err, attempt)
+				}
+				if attempt >= opt.MaxAttempts {
+					return giveUp(tr, st, s, fmt.Errorf(
+						"relay: giving up on %s after %d attempts: %w", addr, attempt, err))
+				}
+				time.Sleep(backoff)
+				backoff = nextBackoff(backoff, opt.MaxBackoff)
+				continue
+			}
+			break
+		}
+		if s.Anomalous() {
+			st.Anomalies++
+		}
+		st.Blocks++
+		backoff = opt.InitialBackoff
+		tr.Release(s)
+	}
+	return st, nil
+}
+
+// giveUp releases the failed block and drains the rest of the Sealed
+// channel unsent, counting the drops, so the traced workload (and its
+// eventual Stop) never wedges on a full buffer ring. The drain runs until
+// the channel closes; SendReliable's contract is to run in its own
+// goroutine, so blocking here until tracer Stop is fine.
+func giveUp(tr *core.Tracer, st ReliableStats, cur core.Sealed, err error) (ReliableStats, error) {
+	tr.Release(cur)
+	st.Dropped++
+	for s := range tr.Sealed() {
+		tr.Release(s)
+		st.Dropped++
+	}
+	return st, err
+}
+
+func flushWriter(w io.Writer) {
+	if f, ok := w.(interface{ Flush() error }); ok {
+		f.Flush()
+	}
+}
+
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		return max
+	}
+	return cur
+}

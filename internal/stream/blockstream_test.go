@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// streamFixture serializes a few blocks and returns the raw bytes plus
+// the written headers and payloads.
+func streamFixture(t *testing.T, nBlocks int) ([]byte, []BlockHeader, [][]uint64) {
+	t.Helper()
+	meta := Meta{BufWords: 32, CPUs: 2, ClockHz: 1e9}
+	var buf bytes.Buffer
+	wr, err := NewWriter(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs []BlockHeader
+	var ws [][]uint64
+	for k := 0; k < nBlocks; k++ {
+		words := make([]uint64, meta.BufWords)
+		for i := range words {
+			words[i] = uint64(k)<<32 | uint64(i)
+		}
+		h := BlockHeader{CPU: k % meta.CPUs, NWords: len(words), Seq: uint64(k / meta.CPUs), Committed: 7}
+		if err := wr.WriteBlock(h, words); err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+		ws = append(ws, words)
+	}
+	return buf.Bytes(), hs, ws
+}
+
+// TestNextIntoMatchesNext proves the zero-alloc path reads the same
+// blocks as the allocating one.
+func TestNextIntoMatchesNext(t *testing.T) {
+	data, hs, ws := streamFixture(t, 6)
+	a, err := NewBlockStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBlockStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bb BlockBuf
+	for k := 0; ; k++ {
+		h1, w1, err1 := a.Next()
+		h2, w2, err2 := b.NextInto(&bb)
+		if (err1 == io.EOF) != (err2 == io.EOF) {
+			t.Fatalf("block %d: EOF disagreement: %v vs %v", k, err1, err2)
+		}
+		if err1 == io.EOF {
+			if k != len(hs) {
+				t.Fatalf("stream ended after %d blocks, want %d", k, len(hs))
+			}
+			return
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatalf("block %d: %v / %v", k, err1, err2)
+		}
+		if h1 != h2 || h1 != hs[k] {
+			t.Fatalf("block %d: headers %+v / %+v want %+v", k, h1, h2, hs[k])
+		}
+		if !equalWords(w1, w2) || !equalWords(w1, ws[k]) {
+			t.Fatalf("block %d: payload mismatch", k)
+		}
+	}
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNextSurvivesDamagedBlock destroys one mid-stream block magic: the
+// damaged block must come back as a *BlockDamageError with the right
+// index, and every other block must still read cleanly afterwards — the
+// fixed stride keeps the stream aligned across the damage.
+func TestNextSurvivesDamagedBlock(t *testing.T) {
+	data, hs, _ := streamFixture(t, 6)
+	meta, err := ParseFileHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := meta.Geometry()
+	const bad = 2
+	off := g.FileHeaderBytes + bad*g.BlockBytes
+	data[off] ^= 0xff // corrupt the block magic
+
+	bs, err := NewBlockStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	damaged := 0
+	for k := 0; ; k++ {
+		h, _, err := bs.Next()
+		if err == io.EOF {
+			break
+		}
+		var d *BlockDamageError
+		if errors.As(err, &d) {
+			if d.Block != bad {
+				t.Fatalf("damage reported at block %d, corrupted block %d", d.Block, bad)
+			}
+			if d.Offset != int64(off) {
+				t.Fatalf("damage reported at offset %d, want %d", d.Offset, off)
+			}
+			damaged++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("block %d: %v", k, err)
+		}
+		if h != hs[k] {
+			t.Fatalf("block %d: header %+v want %+v", k, h, hs[k])
+		}
+		got++
+	}
+	if damaged != 1 || got != len(hs)-1 {
+		t.Fatalf("read %d clean + %d damaged blocks, want %d + 1", got, damaged, len(hs)-1)
+	}
+}
+
+// TestNextTornTailStillTerminal clips the final block mid-payload: that
+// must remain a terminal error (not a damage record), because a short
+// read means the stream can never realign.
+func TestNextTornTailStillTerminal(t *testing.T) {
+	data, _, _ := streamFixture(t, 3)
+	torn := data[:len(data)-40]
+	bs, err := NewBlockStream(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, err := bs.Next()
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("torn stream ended with clean EOF")
+		}
+		var d *BlockDamageError
+		if errors.As(err, &d) {
+			t.Fatalf("torn tail classified as continuable damage: %v", err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+		}
+		return
+	}
+}

@@ -1,0 +1,93 @@
+package ktrace
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestToolOutputParallelParity proves that the -j flag in the CLI tools
+// is a pure speed knob: every tool-facing rendering — kmon's timeline
+// and utilization, tracelist's listing, lockorder's report — is
+// byte-identical whether the golden corpus traces are decoded with 1
+// worker or 8. (truncated.ktr is excluded: a torn file needs the salvage
+// path, which has its own parity coverage.)
+func TestToolOutputParallelParity(t *testing.T) {
+	// garbled.ktr cannot pass the strict reader (destroyed block magic);
+	// it goes through the salvage opener, which also takes a worker count.
+	traces := []struct {
+		file    string
+		salvage bool
+	}{
+		{"clean.ktr", false},
+		{"crosscpu-io.ktr", false},
+		{"garbled.ktr", true},
+	}
+	open := func(t *testing.T, file string, salvage bool, workers int) (*Trace, TraceMeta) {
+		t.Helper()
+		path := filepath.Join(corpusDir, file)
+		if salvage {
+			tr, rep, err := SalvageTraceFile(path, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr, rep.Meta
+		}
+		tr, meta, _, err := OpenTraceFileParallel(path, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, meta
+	}
+	renders := []struct {
+		name   string
+		render func(tr *Trace, meta TraceMeta) string
+	}{
+		{"kmon-timeline", func(tr *Trace, meta TraceMeta) string {
+			tl := tr.Timeline(100)
+			var b strings.Builder
+			b.WriteString(tl.ASCII())
+			for cpu, u := range tl.Utilization() {
+				fmt.Fprintf(&b, "cpu%-3d utilization %5.1f%%\n", cpu, u*100)
+			}
+			return b.String()
+		}},
+		{"tracelist", func(tr *Trace, meta TraceMeta) string {
+			var b strings.Builder
+			if _, err := tr.List(&b, ListOptions{Limit: 400}); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}},
+		{"lockorder", func(tr *Trace, meta TraceMeta) string {
+			var b strings.Builder
+			if err := tr.LockOrder().Format(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}},
+	}
+	for _, trace := range traces {
+		for _, r := range renders {
+			t.Run(trace.file+"/"+r.name, func(t *testing.T) {
+				var base string
+				for i, workers := range []int{1, 8} {
+					tr, meta := open(t, trace.file, trace.salvage, workers)
+					out := r.render(tr, meta)
+					if out == "" {
+						t.Fatalf("empty %s output for %s", r.name, trace.file)
+					}
+					if i == 0 {
+						base = out
+						continue
+					}
+					if out != base {
+						t.Errorf("%s differs between -j1 and -j%d on %s:\n-j1:\n%s\n-j%d:\n%s",
+							r.name, workers, trace.file, base, workers, out)
+					}
+				}
+			})
+		}
+	}
+}
