@@ -73,6 +73,42 @@ func BenchmarkC2EventCostPerWord(b *testing.B) {
 	})
 }
 
+// --- Dynamic control: ApplyMask propagation ---------------------------------
+//
+// §3.2: the trace mask exists so one can "dynamically alter the types of
+// events logged". ApplyMask is the control-plane flavor of that knob: it
+// swaps the mask, waits out each CPU's in-flight loggers, and stamps a
+// CtrlMaskChange marker into every CPU's stream. This measures the cost of
+// one full flip (swap + per-CPU drain + per-CPU marker), the latency an
+// operator pays between POSTing /live/mask and the new visibility epoch
+// starting. Pair with C1 for what the disabled majors cost afterwards.
+
+func BenchmarkApplyMask(b *testing.B) {
+	for _, cpus := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("cpus=%d", cpus), func(b *testing.B) {
+			tr := ktrace.MustNew(ktrace.Config{
+				CPUs: cpus, BufWords: 4096, NumBufs: 8, Mode: ktrace.Stream})
+			go func() {
+				for s := range tr.Sealed() {
+					tr.Release(s)
+				}
+			}()
+			tr.EnableAll()
+			narrow := ktrace.MajorControl.Bit() | ktrace.MajorTest.Bit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					tr.ApplyMask(narrow)
+				} else {
+					tr.ApplyMask(^uint64(0))
+				}
+			}
+			b.StopTimer()
+			tr.Stop()
+		})
+	}
+}
+
 // --- C3 / Figure 3: SDET tracing overhead -----------------------------------
 //
 // §4: the Figure 3 data was taken with the trace infrastructure compiled

@@ -13,6 +13,8 @@
 //	/metrics        Prometheus text exposition
 //	/live/overview  cumulative per-process summary + producer states
 //	/live/windows   per-window analysis snapshots
+//	/live/mask      GET mask control-plane state; POST mask=<spec>
+//	                [producer=<id>] to retune producers at runtime
 //
 // On SIGINT/SIGTERM the daemon force-closes producer connections
 // (reliable senders redial on their own once a collector is back),
@@ -35,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"k42trace/internal/event"
 	"k42trace/internal/live"
 	"k42trace/internal/relay"
 )
@@ -49,6 +52,7 @@ func main() {
 	cpuSlots := flag.Int("cpu-slots", 256, "total remapped CPU slots across all producers")
 	spillPath := flag.String("spill", "", "spill every accepted block to this trace file")
 	watch := flag.String("watch", "", "comma-separated pids to keep per-window time breakdowns for")
+	maskSpec := flag.String("mask", "", `initial trace mask pushed to every producer that connects ("all", a hex literal, or major names like "ctrl,sched,lock")`)
 	flag.Parse()
 
 	opt := live.Options{
@@ -80,6 +84,17 @@ func main() {
 	}
 
 	c := live.NewCollector(opt)
+	if *maskSpec != "" {
+		m, err := event.ParseMask(*maskSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecolld: bad -mask: %v\n", err)
+			os.Exit(2)
+		}
+		c.SetMask(m, 0)
+		fmt.Printf("tracecolld: desired mask %s (%s)\n",
+			event.MaskString(m|event.MajorControl.Bit()),
+			strings.Join(event.MaskMajors(m|event.MajorControl.Bit()), ","))
+	}
 	srv, err := relay.ListenConns(*listen, c.Handler())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecolld:", err)

@@ -9,11 +9,19 @@
 // to exercise a collector's salvage path end to end (pair with
 // tracecheck -salvage on the collected file).
 //
+// With -remote-control the sender also listens for control frames coming
+// back down the collector connection and applies mask updates to its live
+// tracer (see tracecolld's POST /live/mask) — the paper's "dynamically
+// alter the types of events logged" knob, operated from the collector end.
+// -loadgen replaces the finite SDET workload with a steady synthetic
+// event stream for -duration, so there is something long-lived to retune.
+//
 // Usage:
 //
 //	tracerelay -collect -listen 127.0.0.1:7042 -o collected.ktr
 //	tracerelay -send 127.0.0.1:7042 -cpus 4 -config coarse
 //	tracerelay -send 127.0.0.1:7042 -chaos-seed 7 -drop 0.05 -dup 0.05 -reorder 4
+//	tracerelay -send 127.0.0.1:7042 -remote-control -loadgen -duration 30s
 package main
 
 import (
@@ -48,6 +56,10 @@ func main() {
 	reconnect := flag.Bool("reconnect", false, "sender: redial with backoff if the collector drops, re-sending the failed block")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "sender: initial reconnect backoff (doubles up to 2s)")
 	attempts := flag.Int("attempts", 8, "sender: dial/write attempts per block before giving up")
+	remoteControl := flag.Bool("remote-control", false, "sender: apply mask updates pushed back by the collector (implies the reliable path)")
+	loadgen := flag.Bool("loadgen", false, "sender: stream a steady synthetic workload instead of a finite SDET run")
+	duration := flag.Duration("duration", 10*time.Second, "sender: how long -loadgen runs")
+	rate := flag.Int("rate", 30000, "sender: -loadgen target logging attempts per second")
 	flag.Parse()
 	faults := faultinject.StreamFaults{
 		Seed: *chaosSeed, DropProb: *drop, DupProb: *dup, ReorderWindow: *reorder,
@@ -79,14 +91,37 @@ func main() {
 		blocks, anoms := st.Snapshot()
 		fmt.Printf("collected %d blocks (%d anomalous)\n", blocks, anoms)
 	case *send != "":
-		k, tr, err := ksim.NewTracedKernel(
-			ksim.Config{CPUs: *cpus, Tuned: *config == "tuned", SamplePeriod: 100_000},
-			ktrace.Config{BufWords: 16384, NumBufs: 8, Mode: ktrace.Stream})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracerelay:", err)
-			os.Exit(1)
+		useReliable := *reconnect || *remoteControl
+		var tr *ktrace.Tracer
+		var runWorkload func() (string, error)
+		if *loadgen {
+			tr = ktrace.MustNew(ktrace.Config{
+				CPUs: *cpus, BufWords: 16384, NumBufs: 8, Mode: ktrace.Stream})
+			tr.EnableAll()
+			runWorkload = func() (string, error) {
+				attempted, logged := runLoadgen(tr, *duration, *rate)
+				return fmt.Sprintf("loadgen: %d logging attempts, %d events logged over %s",
+					attempted, logged, *duration), nil
+			}
+		} else {
+			k, ktr, err := ksim.NewTracedKernel(
+				ksim.Config{CPUs: *cpus, Tuned: *config == "tuned", SamplePeriod: 100_000},
+				ktrace.Config{BufWords: 16384, NumBufs: 8, Mode: ktrace.Stream})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracerelay:", err)
+				os.Exit(1)
+			}
+			ktr.EnableAll()
+			tr = ktr
+			runWorkload = func() (string, error) {
+				res, err := k.Run(sdet.Workload(*cpus, sdet.DefaultParams()))
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("streamed %d events (throughput %.0f scripts/hour)",
+					res.TraceEvents, res.Throughput()), nil
+			}
 		}
-		tr.EnableAll()
 		var inj *faultinject.Injector
 		var wrap func(io.Writer) io.Writer
 		if chaos {
@@ -99,32 +134,40 @@ func main() {
 		var rstats relay.ReliableStats
 		go func() {
 			var err error
-			if *reconnect {
-				rstats, err = relay.SendReliable(tr, *send, relay.ReliableOptions{
+			if useReliable {
+				opt := relay.ReliableOptions{
 					Wrap:           wrap,
 					InitialBackoff: *backoff,
 					MaxAttempts:    *attempts,
-				})
+				}
+				if *remoteControl {
+					opt.OnControl = relay.MaskApplier(tr)
+				}
+				rstats, err = relay.SendReliable(tr, *send, opt)
 			} else {
 				_, err = relay.SendThrough(tr, *send, wrap)
 			}
 			done <- err
 		}()
-		res, err := k.Run(sdet.Workload(*cpus, sdet.DefaultParams()))
+		summary, err := runWorkload()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracerelay:", err)
 			os.Exit(1)
 		}
+		finalMask := tr.Mask()
 		tr.Stop()
 		if err := <-done; err != nil {
 			fmt.Fprintln(os.Stderr, "tracerelay:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("streamed %d events (throughput %.0f scripts/hour)\n",
-			res.TraceEvents, res.Throughput())
-		if *reconnect {
+		fmt.Println(summary)
+		if useReliable {
 			fmt.Printf("reliable: %d blocks, %d dials, %d retries, %d dropped\n",
 				rstats.Blocks, rstats.Dials, rstats.Retries, rstats.Dropped)
+		}
+		if *remoteControl {
+			fmt.Printf("remote-control: %d control frames, %d mask applies, final mask %#x\n",
+				rstats.ControlFrames, tr.MaskApplies(), finalMask)
 		}
 		if inj != nil {
 			fmt.Printf("chaos (seed %d): %s\n", *chaosSeed, inj.Stats())
@@ -134,4 +177,41 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+}
+
+// runLoadgen logs a steady mix of MajorTest, MajorMem, and MajorSched
+// events round-robin across CPUs for the given duration, pacing itself to
+// roughly rate attempts per second. Every major is attempted every cycle
+// regardless of the current mask — that is the point: when a collector
+// narrows the mask remotely, the disabled majors' attempts keep costing
+// only the mask check, and their events visibly stop arriving. Returns
+// (attempts, events actually logged).
+func runLoadgen(tr *ktrace.Tracer, d time.Duration, rate int) (attempted, logged uint64) {
+	cpus := tr.NumCPUs()
+	perTick := rate / 1000 / 3 // cycles per 1ms tick; 3 attempts per cycle
+	if perTick < 1 {
+		perTick = 1
+	}
+	deadline := time.Now().Add(d)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	var n uint64
+	for time.Now().Before(deadline) {
+		<-tick.C
+		for i := 0; i < perTick; i++ {
+			cpu := tr.CPU(int(n) % cpus)
+			if cpu.Log1(ktrace.MajorTest, 100, n) {
+				logged++
+			}
+			if cpu.Log2(ktrace.MajorMem, 200, n, uint64(cpus)) {
+				logged++
+			}
+			if cpu.Log1(ktrace.MajorSched, 300, n) {
+				logged++
+			}
+			attempted += 3
+			n++
+		}
+	}
+	return attempted, logged
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	ktrace "k42trace"
 	"k42trace/internal/ksim"
@@ -45,12 +46,28 @@ func main() {
 				pc.Log(evProbeOpen, pc.Arg)
 			})
 	})
-	// And detach it again later — monitoring was temporary.
+	// While the probe runs, narrow tracing to just its major — the
+	// paper's "dynamically alter the types of events logged" knob. This
+	// is the same ApplyMask the live collector drives remotely (see
+	// tracecolld's POST /live/mask); the flip stamps a
+	// TRACE_CTRL_MASK_CHANGE epoch marker on every CPU so the trace
+	// records when visibility changed, instead of the quiet static
+	// majors masquerading as a workload change.
+	const narrowAt = 450_000
+	k.At(narrowAt, func(k *ksim.Kernel) {
+		tr.ApplyMask(ktrace.MajorControl.Bit() | ktrace.MajorUser.Bit())
+		fmt.Printf("[t=%dus] narrowed trace mask to %s\n",
+			narrowAt/1000, strings.Join(ktrace.MaskMajors(tr.Mask()), ","))
+	})
+
+	// And detach it again later — monitoring was temporary; tracing goes
+	// back to everything.
 	const detachAt = 900_000
 	k.At(detachAt, func(k *ksim.Kernel) {
 		fmt.Printf("[t=%dus] detaching probe after %d fires\n",
 			detachAt/1000, k.ProbeFires())
 		k.DetachProbe(probeID)
+		tr.ApplyMask(^uint64(0))
 	})
 
 	res, err := k.Run(sdet.Workload(4, sdet.Params{
@@ -85,16 +102,21 @@ func main() {
 	}
 
 	// The probe's events are also in the trace, interleaved with the
-	// static ones — count them back out of the flight recorder.
-	probeEvents := 0
+	// static ones — count them back out of the flight recorder, along
+	// with the mask-change epoch markers the two ApplyMask calls left.
+	probeEvents, maskMarks := 0, 0
 	for cpu := 0; cpu < 4; cpu++ {
 		evs, _ := tr.Dump(cpu)
 		for _, e := range evs {
 			if e.Major() == ktrace.MajorUser && e.Minor() == evProbeOpen {
 				probeEvents++
 			}
+			if e.Major() == ktrace.MajorControl && e.Minor() == ktrace.CtrlMaskChange {
+				maskMarks++
+			}
 		}
 	}
 	fmt.Printf("\n%d probe events recovered from the unified trace", probeEvents)
 	fmt.Printf(" (may trail the fire count if the flight recorder wrapped)\n")
+	fmt.Printf("%d mask-change epoch markers in the trace\n", maskMarks)
 }

@@ -24,6 +24,19 @@ type Trace struct {
 	// ThreadPid maps thread ids to their owning process, reconstructed
 	// from scheduler switch and thread-spawn events.
 	ThreadPid map[uint64]uint64
+	// MaskEpochs are the CtrlMaskChange markers in absorb order: the
+	// instants the trace mask changed on some CPU. They delimit visibility
+	// epochs — a subsystem silent after a narrowing epoch was not
+	// necessarily idle, it may just have been masked out.
+	MaskEpochs []MaskEpoch
+}
+
+// MaskEpoch is one decoded CtrlMaskChange marker.
+type MaskEpoch struct {
+	Time uint64 `json:"time"`
+	CPU  int    `json:"cpu"`
+	Mask uint64 `json:"mask"`
+	Prev uint64 `json:"prev"`
 }
 
 // Build constructs a Trace from a time-merged event stream. hz is the
@@ -98,6 +111,12 @@ func (t *Trace) Absorb(evs []event.Event) {
 		case event.MajorProc:
 			if e.Minor() == ksim.EvProcSpawn && len(e.Data) >= 2 {
 				t.ThreadPid[e.Data[1]] = e.Data[0]
+			}
+		case event.MajorControl:
+			if e.Minor() == event.CtrlMaskChange && len(e.Data) >= 2 {
+				t.MaskEpochs = append(t.MaskEpochs, MaskEpoch{
+					Time: e.Time, CPU: e.CPU, Mask: e.Data[0], Prev: e.Data[1],
+				})
 			}
 		}
 	}

@@ -213,6 +213,21 @@ func (w *Windowed) Overview() []ProcSummary {
 	return w.cum.rows(w.trace)
 }
 
+// maxLiveMaskEpochs bounds how many mask-change markers a snapshot
+// carries; the full list lives in the Trace (and the spill file).
+const maxLiveMaskEpochs = 64
+
+// MaskEpochs returns the newest mask-change markers absorbed so far (at
+// most maxLiveMaskEpochs, oldest first), so a live dashboard can show
+// when visibility epochs began without holding the whole history.
+func (w *Windowed) MaskEpochs() []MaskEpoch {
+	eps := w.trace.MaskEpochs
+	if len(eps) > maxLiveMaskEpochs {
+		eps = eps[len(eps)-maxLiveMaskEpochs:]
+	}
+	return append([]MaskEpoch(nil), eps...)
+}
+
 // WindowSnapshot is one window's detailed stats as plain resolved data:
 // every name is materialized, nothing aliases live accumulator state, so
 // a snapshot can be marshaled or rendered after the engine moves on.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"k42trace/internal/event"
+)
+
+// perCPUEvents decodes a collected session back into per-CPU event
+// streams in seal (seq) order — reservation order, which is the order the
+// epoch invariant is stated in.
+func perCPUEvents(t *testing.T, tr *Tracer, blocks []collected) [][]event.Event {
+	t.Helper()
+	byCPU := make([][]collected, tr.NumCPUs())
+	for _, b := range blocks {
+		byCPU[b.cpu] = append(byCPU[b.cpu], b)
+	}
+	out := make([][]event.Event, tr.NumCPUs())
+	for cpu, bs := range byCPU {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].seq < bs[j].seq })
+		for _, b := range bs {
+			evs, st := DecodeBuffer(cpu, b.words)
+			if st.Garbled() {
+				t.Fatalf("cpu %d seq %d: garbled buffer in clean run", cpu, b.seq)
+			}
+			out[cpu] = append(out[cpu], evs...)
+		}
+	}
+	return out
+}
+
+// TestApplyMaskEpochInvariant hammers ApplyMask from a control goroutine
+// (with interleaved Quiesce dumps) while every CPU logs, then replays each
+// CPU's stream checking the visibility-epoch contract: between two
+// CtrlMaskChange markers, every event's major was enabled by one of the
+// adjoining masks (an event may be reserved after the mask swap but just
+// before its marker lands); after the final marker, only the final mask's
+// majors appear. Run under -race this also proves the swap/drain/log
+// sequence in ApplyMask is data-race free against the lockless loggers.
+func TestApplyMaskEpochInvariant(t *testing.T) {
+	const cpus = 4
+	tr := MustNew(Config{CPUs: cpus, BufWords: 256, NumBufs: 8, Mode: Stream})
+	done, _ := collect(tr)
+	tr.EnableAll()
+
+	narrow := event.MajorControl.Bit() | event.MajorTest.Bit() // MEM disabled
+	wide := ^uint64(0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < cpus; i++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			c := tr.CPU(cpu)
+			for n := uint64(0); !stop.Load(); n++ {
+				c.Log1(event.MajorTest, 100, n)
+				c.Log1(event.MajorMem, 200, n)
+				if n%64 == 0 {
+					// Let the consumer and control goroutines breathe on
+					// GOMAXPROCS=1 runners without giving up the hammering.
+					runtime.Gosched()
+				}
+			}
+		}(i)
+	}
+
+	for flip := 0; flip < 60; flip++ {
+		if flip%2 == 0 {
+			tr.ApplyMask(narrow)
+		} else {
+			tr.ApplyMask(wide)
+			// Guarantee the wide epoch is exercised even if the scheduler
+			// starves the logger goroutines on this iteration.
+			for i := 0; i < 50; i++ {
+				tr.CPU(i%cpus).Log1(event.MajorMem, 200, uint64(flip))
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		if flip%10 == 9 {
+			// A concurrent dump: Quiesce stops all logging silently, the
+			// restore is announced in-band like any other flip.
+			old := tr.Quiesce()
+			tr.ApplyMask(old)
+		}
+	}
+	// Final state: MEM disabled, loggers still hammering — nothing of
+	// MajorMem may land after the last marker.
+	tr.ApplyMask(narrow)
+	for i := 0; i < 10000; i++ {
+		tr.CPU(i%cpus).Log1(event.MajorTest, 100, uint64(i))
+	}
+	stop.Store(true)
+	wg.Wait()
+	tr.Stop()
+	blocks := <-done
+
+	if tr.MaskApplies() == 0 {
+		t.Fatal("no mask applies recorded")
+	}
+	streams := perCPUEvents(t, tr, blocks)
+	var memSeen, markersSeen int
+	for cpu, evs := range streams {
+		cur := wide // EnableAll before the first marker
+		next := func(from int) uint64 {
+			for i := from; i < len(evs); i++ {
+				e := &evs[i]
+				if e.Major() == event.MajorControl && e.Minor() == event.CtrlMaskChange {
+					return e.Data[0]
+				}
+			}
+			return cur // tail segment: no later marker
+		}
+		for i := range evs {
+			e := &evs[i]
+			if e.Major() == event.MajorControl {
+				if e.Minor() == event.CtrlMaskChange {
+					if len(e.Data) < 2 {
+						t.Fatalf("cpu %d: short CtrlMaskChange payload", cpu)
+					}
+					cur = e.Data[0]
+					markersSeen++
+				}
+				continue
+			}
+			if e.Major() == event.MajorMem {
+				memSeen++
+			}
+			bit := e.Major().Bit()
+			if cur&bit == 0 && next(i+1)&bit == 0 {
+				t.Fatalf("cpu %d: %v event at stream pos %d inside an epoch that disables it (mask %#x)",
+					cpu, e.Major(), i, cur)
+			}
+		}
+		// Tail check: after the final marker the mask is `narrow`; the walk
+		// leaves cur at the last marker's mask.
+		if cur != narrow {
+			t.Errorf("cpu %d: final epoch mask %#x, want %#x", cpu, cur, narrow)
+		}
+	}
+	if markersSeen < 2*cpus {
+		t.Errorf("only %d mask markers across %d CPUs; flips not exercised", markersSeen, cpus)
+	}
+	if memSeen == 0 {
+		t.Error("no MajorMem events at all; enabled epochs not exercised")
+	}
+
+	// The strict form of the issue's assertion: zero MajorMem events after
+	// the final (narrowing) marker on every CPU.
+	for cpu, evs := range streams {
+		lastMarker := -1
+		for i := range evs {
+			if evs[i].Major() == event.MajorControl && evs[i].Minor() == event.CtrlMaskChange {
+				lastMarker = i
+			}
+		}
+		if lastMarker < 0 {
+			t.Fatalf("cpu %d: no mask markers", cpu)
+		}
+		for i := lastMarker + 1; i < len(evs); i++ {
+			if evs[i].Major() == event.MajorMem {
+				t.Fatalf("cpu %d: MajorMem event at pos %d after the final narrowing marker", cpu, i)
+			}
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package core
 
-import "runtime"
-
 // Sealed is a completed buffer handed from the tracer to the Stream-mode
 // consumer — the relayfs-style unit of transfer. Words aliases the live
 // trace memory: the consumer must finish with it (write it out or copy it)
@@ -60,9 +58,7 @@ func (t *Tracer) Release(s Sealed) {
 // guarantees no new writer can start, so drain terminates.
 func (t *Tracer) drain() {
 	for _, ctl := range t.cpus {
-		for ctl.inflight.Load() != 0 {
-			runtime.Gosched()
-		}
+		ctl.waitQuiescent()
 	}
 }
 

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"k42trace/internal/clock"
 	"k42trace/internal/event"
@@ -74,6 +77,11 @@ type Tracer struct {
 	indexMask uint64 // NumBufs*BufWords - 1
 	sealed    chan Sealed
 	stopped   atomic.Bool
+
+	// maskMu serializes ApplyMask calls so the in-band CtrlMaskChange
+	// markers on each CPU appear in the same order the masks were applied.
+	maskMu      sync.Mutex
+	maskApplies atomic.Uint64
 }
 
 // New creates a Tracer. The returned tracer has an all-zero mask: tracing
@@ -177,6 +185,69 @@ func (t *Tracer) EnableAll() { t.mask.Store(^uint64(0)) }
 
 // DisableAll disables all tracing; trace points reduce to the mask check.
 func (t *Tracer) DisableAll() { t.mask.Store(0) }
+
+// ApplyMask installs a new trace mask and stamps the moment it took effect
+// into every CPU's event stream with a MajorControl/CtrlMaskChange event
+// (payload: new mask, previous mask). This is the runtime control-plane
+// entry point: unlike SetMask, which flips the atomic silently, ApplyMask
+// leaves an in-band record so analyses can tell "the mask narrowed" from
+// "the workload went quiet".
+//
+// The MajorControl bit is always forced on in the applied mask: control
+// events (anchors, fillers, mask markers) are what keep a stream decodable
+// and epoch-annotated, so the control plane never disables them. This also
+// keeps ApplyMask compatible with Quiesce's drain: begin() re-checks the
+// mask after raising inflight, so disabled majors stop reserving the
+// instant the swap lands.
+//
+// Per CPU the marker is logged only after that CPU's in-flight loggers
+// have been observed at zero. A logger that starts after the swap sees the
+// new mask (begin()'s re-check), and a logger observed in flight completed
+// before the marker's reservation — so on each CPU, every event reserved
+// after the marker is governed by the new mask (until a later ApplyMask).
+// Events of a newly disabled major therefore never land after its marker.
+//
+// Concurrent ApplyMask calls are serialized. Like the other mask setters
+// it must not race Stop, and — like Quiesce — it requires the consumer to
+// keep draining Sealed if a logger is blocked on a full ring (OnFull:
+// Block). It returns the previous mask.
+func (t *Tracer) ApplyMask(newMask uint64) (old uint64) {
+	newMask |= event.MajorControl.Bit()
+	t.maskMu.Lock()
+	defer t.maskMu.Unlock()
+	old = t.mask.Swap(newMask)
+	if old == newMask {
+		return old
+	}
+	t.maskApplies.Add(1)
+	for i := range t.cpus {
+		t.cpus[i].waitQuiescent()
+		t.CPU(i).Log2(event.MajorControl, event.CtrlMaskChange, newMask, old)
+	}
+	return old
+}
+
+// waitQuiescent waits for this CPU's in-flight loggers to reach zero.
+// Unlike Quiesce's drain, ApplyMask waits while loggers keep starting (the
+// new mask still enables them), so the wait is a sampling race: inflight
+// is only zero in the gaps between logging calls. Pure Gosched spinning
+// loses that race on GOMAXPROCS=1 — the yielded goroutine lands on the
+// global run queue, which the scheduler visits rarely while hot loggers
+// fill the local one — so after a brief spin the wait backs off to real
+// sleeps, which reschedule promptly and sample at uniformly random points
+// of the loggers' cycles.
+func (ctl *TrcCtl) waitQuiescent() {
+	for spins := 0; ctl.inflight.Load() != 0; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// MaskApplies returns the number of ApplyMask calls that changed the mask.
+func (t *Tracer) MaskApplies() uint64 { return t.maskApplies.Load() }
 
 // --- CPU handles -----------------------------------------------------------
 

@@ -121,6 +121,11 @@ const (
 	// CtrlTimeSync carries a (raw tsc, wall ns) pair used for LTT-style
 	// interpolation when the timestamp source is an unsynchronized TSC.
 	CtrlTimeSync
+	// CtrlMaskChange marks the instant a new trace mask took effect on the
+	// logging CPU: payload word 0 is the new mask, word 1 the previous one.
+	// Analyses use it to delimit visibility epochs, so a runtime narrowing
+	// of the mask is not misread as the workload ceasing activity.
+	CtrlMaskChange
 )
 
 // Header is the first 64-bit word of every trace event.

@@ -1,0 +1,82 @@
+package event
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// ParseMajor resolves a major class from its name ("MEM", case-insensitive),
+// its generic form ("MAJ17"), or a bare decimal number ("17").
+func ParseMajor(s string) (Major, bool) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if s == "" {
+		return 0, false
+	}
+	for m, name := range majorNames {
+		if name != "" && name == s {
+			return Major(m), true
+		}
+	}
+	num := strings.TrimPrefix(s, "MAJ")
+	n, err := strconv.ParseUint(num, 10, 8)
+	if err != nil || n >= NumMajors {
+		return 0, false
+	}
+	return Major(n), true
+}
+
+// ParseMask parses a trace-mask specification: "all", "none", a hex literal
+// ("0xffff"), a decimal literal, or a comma-separated list of major names
+// ("ctrl,mem,sched"). Name lists always include MajorControl, since streams
+// without control events are not decodable.
+func ParseMask(spec string) (uint64, error) {
+	s := strings.TrimSpace(spec)
+	switch strings.ToLower(s) {
+	case "":
+		return 0, fmt.Errorf("event: empty mask spec")
+	case "all":
+		return ^uint64(0), nil
+	case "none":
+		return MajorControl.Bit(), nil
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("event: bad hex mask %q: %v", spec, err)
+		}
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	mask := MajorControl.Bit()
+	for _, part := range strings.Split(s, ",") {
+		m, ok := ParseMajor(part)
+		if !ok {
+			return 0, fmt.Errorf("event: unknown major %q in mask spec %q", part, spec)
+		}
+		mask |= m.Bit()
+	}
+	return mask, nil
+}
+
+// MaskMajors expands a mask into the names of its enabled majors, sorted by
+// major ID.
+func MaskMajors(mask uint64) []string {
+	if mask == 0 {
+		return nil
+	}
+	out := make([]string, 0, bits.OnesCount64(mask))
+	for m := 0; m < NumMajors; m++ {
+		if mask&(1<<uint(m)) != 0 {
+			out = append(out, Major(m).String())
+		}
+	}
+	return out
+}
+
+// MaskString renders a mask as a hex literal, the form ParseMask accepts
+// back and JSON can carry without float64 precision loss.
+func MaskString(mask uint64) string { return fmt.Sprintf("0x%x", mask) }

@@ -1,0 +1,79 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseMajor(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Major
+		ok   bool
+	}{
+		{"MEM", MajorMem, true},
+		{"mem", MajorMem, true},
+		{" Sched ", MajorSched, true},
+		{"CTRL", MajorControl, true},
+		{"MAJ17", Major(17), true},
+		{"17", Major(17), true},
+		{"63", Major(63), true},
+		{"64", 0, false},
+		{"MAJ64", 0, false},
+		{"bogus", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseMajor(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseMajor(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	ctrl := MajorControl.Bit()
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"all", ^uint64(0), true},
+		{"none", ctrl, true},
+		{"0xff", 0xff, true},
+		{"0XFF", 0xff, true},
+		{"255", 255, true},
+		{"mem,sched", ctrl | MajorMem.Bit() | MajorSched.Bit(), true},
+		{"ctrl,io", ctrl | MajorIO.Bit(), true},
+		{"MAJ40", ctrl | 1<<40, true},
+		{"", 0, false},
+		{"0xzz", 0, false},
+		{"mem,bogus", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMask(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseMask(%q) err=%v want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseMask(%q) = %#x want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	for _, m := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		back, err := ParseMask(MaskString(m))
+		if err != nil || back != m {
+			t.Errorf("round trip %#x -> %q -> %#x, %v", m, MaskString(m), back, err)
+		}
+	}
+	got := MaskMajors(MajorControl.Bit() | MajorTest.Bit())
+	if want := []string{"CTRL", "TEST"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MaskMajors = %v want %v", got, want)
+	}
+	if MaskMajors(0) != nil {
+		t.Errorf("MaskMajors(0) should be nil")
+	}
+}

@@ -131,4 +131,6 @@ func init() {
 		"buffer info cpu %0[%d] seq %1[%d] committed %2[%lld]")
 	Default.MustRegister(MajorControl, CtrlTimeSync, "TRACE_CTRL_TIME_SYNC", "64 64",
 		"time sync raw %0[%lld] wall %1[%lld]ns")
+	Default.MustRegister(MajorControl, CtrlMaskChange, "TRACE_CTRL_MASK_CHANGE", "64 64",
+		"trace mask now %0[%llx] was %1[%llx]")
 }

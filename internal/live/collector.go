@@ -87,15 +87,22 @@ func (o *Options) defaults() {
 type Collector struct {
 	opt Options
 
-	mu          sync.Mutex
-	meta        stream.Meta // fixed by the first producer; CPUs == CPUSlots
-	win         *analysis.Windowed
-	spill       *stream.Writer
-	spillErr    error
+	mu        sync.Mutex
+	meta      stream.Meta // fixed by the first producer; CPUs == CPUSlots
+	win       *analysis.Windowed
+	spill     *stream.Writer
+	spillErr  error
 	nextCPU   int
 	producers map[uint64]*producer
 	order     []uint64
 	draining  bool
+
+	// Desired broadcast mask (SetMask with producerID 0); replayed to
+	// producers that connect after it was set. maskSends counts control
+	// frames successfully written to producers.
+	maskDesired uint64
+	maskSet     bool
+	maskSends   uint64
 
 	// disconnects has its own lock so a wedged analysis path (mu held)
 	// can never block recording the disconnect that resolves the wedge.
@@ -113,6 +120,7 @@ type producer struct {
 	cpuBase int
 	cpus    int
 	queue   chan feedItem
+	ctrl    *relay.ControlSender
 
 	connected atomic.Bool
 	blocks    atomic.Uint64
@@ -122,6 +130,14 @@ type producer struct {
 	stuck     atomic.Uint64
 	reordered atomic.Uint64
 	lastTick  atomic.Uint64
+
+	// Mask control plane: the last mask sent down this connection and the
+	// newest mask the producer reported applied via CtrlMaskChange.
+	sentMask    atomic.Uint64
+	sentSet     atomic.Bool
+	appliedMask atomic.Uint64
+	appliedSet  atomic.Bool
+	maskChanges atomic.Uint64
 
 	lastSeq []int64 // per local CPU, -1 before the first block
 }
@@ -212,6 +228,7 @@ func (c *Collector) register(conn relay.Conn) (*producer, error) {
 		cpuBase: c.nextCPU,
 		cpus:    meta.CPUs,
 		queue:   make(chan feedItem, c.opt.QueueBlocks),
+		ctrl:    conn.Control,
 		lastSeq: make([]int64, meta.CPUs),
 	}
 	for i := range p.lastSeq {
@@ -221,6 +238,12 @@ func (c *Collector) register(conn relay.Conn) (*producer, error) {
 	c.nextCPU += meta.CPUs
 	c.producers[p.id] = p
 	c.order = append(c.order, p.id)
+	if c.maskSet {
+		// Pending-mask replay: a producer joining (or rejoining — reliable
+		// senders reconnect as a fresh conn) an already-narrowed session is
+		// retuned before its first block lands.
+		c.sendMask(p, c.maskDesired)
+	}
 	c.wg.Add(1)
 	go c.worker(p)
 	return p, nil
@@ -281,6 +304,12 @@ func (c *Collector) serve(p *producer, bs *stream.BlockStream) error {
 		for i := range evs {
 			if t := evs[i].Time; t > p.lastTick.Load() {
 				p.lastTick.Store(t)
+			}
+			if evs[i].Major() == event.MajorControl && evs[i].Minor() == event.CtrlMaskChange &&
+				len(evs[i].Data) >= 1 {
+				p.appliedMask.Store(evs[i].Data[0])
+				p.appliedSet.Store(true)
+				p.maskChanges.Add(1)
 			}
 		}
 		item := feedItem{h: h, words: wcopy, evs: evs}
@@ -380,6 +409,10 @@ type ProducerSnapshot struct {
 	// LagWindows is how many analysis windows this producer's newest event
 	// trails the newest event seen from anyone.
 	LagWindows uint64 `json:"lag_windows"`
+	// Mask control plane: hex literals, "" before the first send/apply.
+	SentMask    string `json:"sent_mask,omitempty"`
+	AppliedMask string `json:"applied_mask,omitempty"`
+	MaskChanges uint64 `json:"mask_changes,omitempty"`
 }
 
 // Snapshot is the collector state served at /live/overview.
@@ -391,6 +424,12 @@ type Snapshot struct {
 	Producers   []ProducerSnapshot     `json:"producers"`
 	Disconnects map[string]uint64      `json:"disconnects"`
 	Draining    bool                   `json:"draining"`
+	// DesiredMask is the pending broadcast mask as a hex literal ("" if
+	// never set); MaskEpochs are the newest mask-change markers seen in
+	// the merged stream (collector CPU slots identify the producer).
+	DesiredMask string               `json:"desired_mask,omitempty"`
+	MaskSends   uint64               `json:"mask_updates_sent,omitempty"`
+	MaskEpochs  []analysis.MaskEpoch `json:"mask_epochs,omitempty"`
 }
 
 // Snapshot captures the full collector state as plain data.
@@ -401,12 +440,17 @@ func (c *Collector) Snapshot() Snapshot {
 		Disconnects: c.disconnectCounts(),
 		Draining:    c.draining,
 	}
+	if c.maskSet {
+		s.DesiredMask = event.MaskString(c.maskDesired)
+	}
+	s.MaskSends = c.maskSends
 	var maxTick, width uint64
 	if c.win != nil {
 		s.ClockHz = c.win.ClockHz()
 		s.WidthTicks = c.win.WidthTicks()
 		s.Stats = c.win.Stats()
 		s.Overview = c.win.Overview()
+		s.MaskEpochs = c.win.MaskEpochs()
 		maxTick, width = s.Stats.MaxTick, s.WidthTicks
 	}
 	for _, id := range c.order {
@@ -417,19 +461,26 @@ func (c *Collector) Snapshot() Snapshot {
 
 func (p *producer) snapshot(maxTick, width uint64) ProducerSnapshot {
 	ps := ProducerSnapshot{
-		ID:         p.id,
-		Remote:     p.remote,
-		CPUBase:    p.cpuBase,
-		CPUs:       p.cpus,
-		Connected:  p.connected.Load(),
-		Blocks:     p.blocks.Load(),
-		Bytes:      p.bytes.Load(),
-		Events:     p.events.Load(),
-		Garbled:    p.garbled.Load(),
-		StuckSeals: p.stuck.Load(),
-		Reordered:  p.reordered.Load(),
-		QueueDepth: len(p.queue),
-		LastTick:   p.lastTick.Load(),
+		ID:          p.id,
+		Remote:      p.remote,
+		CPUBase:     p.cpuBase,
+		CPUs:        p.cpus,
+		Connected:   p.connected.Load(),
+		Blocks:      p.blocks.Load(),
+		Bytes:       p.bytes.Load(),
+		Events:      p.events.Load(),
+		Garbled:     p.garbled.Load(),
+		StuckSeals:  p.stuck.Load(),
+		Reordered:   p.reordered.Load(),
+		QueueDepth:  len(p.queue),
+		LastTick:    p.lastTick.Load(),
+		MaskChanges: p.maskChanges.Load(),
+	}
+	if p.sentSet.Load() {
+		ps.SentMask = event.MaskString(p.sentMask.Load())
+	}
+	if p.appliedSet.Load() {
+		ps.AppliedMask = event.MaskString(p.appliedMask.Load())
 	}
 	if width > 0 && maxTick > ps.LastTick {
 		ps.LagWindows = (maxTick - ps.LastTick) / width

@@ -3,6 +3,9 @@ package live
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+
+	"k42trace/internal/event"
 )
 
 // Mux returns the collector's HTTP surface:
@@ -11,6 +14,7 @@ import (
 //	/metrics        Prometheus text exposition
 //	/live/overview  cumulative per-process summary + producer states (JSON)
 //	/live/windows   per-window detailed snapshots, oldest first (JSON)
+//	/live/mask      GET control-plane state; POST mask=<spec> [producer=<id>]
 //
 // Every response is built from a Snapshot taken under the collector
 // lock — plain resolved data, so a slow scraper never blocks ingest
@@ -34,7 +38,48 @@ func (c *Collector) Mux() *http.ServeMux {
 	mux.HandleFunc("/live/windows", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Windows())
 	})
+	mux.HandleFunc("/live/mask", c.handleMask)
 	return mux
+}
+
+// handleMask is the mask control endpoint. GET reports MaskStatus. POST
+// takes mask=<spec> — a hex literal ("0x1f"), "all"/"none", or a
+// comma-separated major list ("ctrl,mem,sched") — and an optional
+// producer=<id> to target one producer instead of broadcasting:
+//
+//	curl -X POST 'http://host/live/mask' -d mask=ctrl,sched,lock
+//	curl -X POST 'http://host/live/mask' -d mask=0xffff -d producer=2
+func (c *Collector) handleMask(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, c.MaskStatus())
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec := r.Form.Get("mask")
+		mask, err := event.ParseMask(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var producerID uint64
+		if s := r.Form.Get("producer"); s != "" {
+			producerID, err = strconv.ParseUint(s, 10, 64)
+			if err != nil || producerID == 0 {
+				http.Error(w, "bad producer id", http.StatusBadRequest)
+				return
+			}
+		}
+		if err := c.SetMask(mask, producerID); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, c.MaskStatus())
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

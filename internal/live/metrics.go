@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -13,8 +14,13 @@ import (
 // producers that disconnected keep reporting their final totals so
 // rate() over a scrape gap stays correct.
 func (c *Collector) WriteMetrics(w io.Writer) {
-	s := c.Snapshot()
+	writeMetricsSnapshot(w, c.Snapshot())
+}
 
+// writeMetricsSnapshot renders an already-taken snapshot; split out so
+// tests can feed hostile snapshots (label values with quotes, backslashes,
+// newlines) without a live session behind them.
+func writeMetricsSnapshot(w io.Writer, s Snapshot) {
 	counter := func(name, help string, emit func()) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		emit()
@@ -26,7 +32,7 @@ func (c *Collector) WriteMetrics(w io.Writer) {
 	perProducer := func(name string, v func(ProducerSnapshot) uint64) func() {
 		return func() {
 			for _, p := range s.Producers {
-				fmt.Fprintf(w, "%s{producer=%q} %d\n", name, producerLabel(p), v(p))
+				fmt.Fprintf(w, "%s{producer=\"%s\"} %d\n", name, escapeLabel(producerLabel(p)), v(p))
 			}
 		}
 	}
@@ -48,6 +54,13 @@ func (c *Collector) WriteMetrics(w io.Writer) {
 	gauge("tracecolld_window_lag_windows", "Analysis windows each producer trails the newest event.",
 		perProducer("tracecolld_window_lag_windows", func(p ProducerSnapshot) uint64 { return p.LagWindows }))
 
+	gauge("tracecolld_producer_info", "Producer identity: id label is stable, remote is the peer address.", func() {
+		for _, p := range s.Producers {
+			fmt.Fprintf(w, "tracecolld_producer_info{producer=\"%s\",remote=\"%s\"} 1\n",
+				escapeLabel(producerLabel(p)), escapeLabel(p.Remote))
+		}
+	})
+
 	gauge("tracecolld_producers_connected", "Currently connected producers.", func() {
 		n := 0
 		for _, p := range s.Producers {
@@ -64,8 +77,34 @@ func (c *Collector) WriteMetrics(w io.Writer) {
 		}
 		sort.Strings(reasons)
 		for _, r := range reasons {
-			fmt.Fprintf(w, "tracecolld_disconnects_total{reason=%q} %d\n", r, s.Disconnects[r])
+			fmt.Fprintf(w, "tracecolld_disconnects_total{reason=\"%s\"} %d\n", escapeLabel(r), s.Disconnects[r])
 		}
+	})
+
+	// Mask control plane. Full 64-bit masks don't fit a float64 sample
+	// value exactly, so the gauges expose enabled-major counts; the exact
+	// hex masks live in the /live/mask JSON.
+	counter("tracecolld_mask_updates_sent_total", "Mask-update control frames written to producers.", func() {
+		fmt.Fprintf(w, "tracecolld_mask_updates_sent_total %d\n", s.MaskSends)
+	})
+	counter("tracecolld_mask_changes_total", "CtrlMaskChange markers observed per producer.",
+		perProducer("tracecolld_mask_changes_total", func(p ProducerSnapshot) uint64 { return p.MaskChanges }))
+	gauge("tracecolld_applied_mask_majors", "Enabled major classes in each producer's newest applied mask (-1 before any CtrlMaskChange).", func() {
+		for _, p := range s.Producers {
+			n := -1
+			if m, ok := parseMaskLabel(p.AppliedMask); ok {
+				n = bits.OnesCount64(m)
+			}
+			fmt.Fprintf(w, "tracecolld_applied_mask_majors{producer=\"%s\"} %d\n",
+				escapeLabel(producerLabel(p)), n)
+		}
+	})
+	gauge("tracecolld_desired_mask_majors", "Enabled major classes in the pending broadcast mask (-1 if never set).", func() {
+		n := -1
+		if m, ok := parseMaskLabel(s.DesiredMask); ok {
+			n = bits.OnesCount64(m)
+		}
+		fmt.Fprintf(w, "tracecolld_desired_mask_majors %d\n", n)
 	})
 
 	gauge("tracecolld_windows_live", "Analysis windows currently held.", func() {
@@ -83,6 +122,45 @@ func (c *Collector) WriteMetrics(w io.Writer) {
 	counter("tracecolld_blocks_total", "Blocks fed to the analysis engine.", func() {
 		fmt.Fprintf(w, "tracecolld_blocks_total %d\n", s.Stats.Blocks)
 	})
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: inside double quotes, backslash, double-quote, and line feed
+// must be escaped as \\, \", and \n — and nothing else (Go's %q also
+// escapes non-ASCII and control bytes, which the format forbids, so it
+// cannot be used here).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// parseMaskLabel converts a snapshot's hex mask literal back to bits ("",
+// meaning never set, reports false).
+func parseMaskLabel(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	var m uint64
+	if _, err := fmt.Sscanf(s, "0x%x", &m); err != nil {
+		return 0, false
+	}
+	return m, true
 }
 
 // producerLabel is the metrics label for one producer: its id, which is

@@ -1,0 +1,122 @@
+// Control frames: the collector-to-producer back-channel. Trace blocks
+// flow producer→collector; control frames ride the same TCP connection in
+// the other direction, so a collector (or an operator curl-ing its HTTP
+// admin surface) can retune what a running producer traces without any
+// side channel, restart, or extra port — K42's user-level control daemon
+// recast for a fleet of networked producers.
+//
+// A frame is three little-endian 64-bit words — magic, type, argument —
+// deliberately shaped like the rest of the wire format: fixed-size,
+// word-oriented, and self-validating via a magic.
+package relay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"k42trace/internal/core"
+)
+
+// ControlMagic begins every control frame: the bytes "K42CTRL1" read as a
+// little-endian 64-bit word, mirroring the trace file and block magics.
+const ControlMagic uint64 = 0x314c52544332344b
+
+// ControlType discriminates control frames.
+type ControlType uint64
+
+const (
+	// CtrlSetMask asks the producer to ApplyMask the frame's Mask.
+	CtrlSetMask ControlType = 1
+)
+
+// ControlFrame is one collector→producer control message.
+type ControlFrame struct {
+	Type ControlType
+	Mask uint64 // CtrlSetMask: the trace mask to apply
+}
+
+const controlFrameBytes = 24
+
+// WriteControl writes one control frame.
+func WriteControl(w io.Writer, f ControlFrame) error {
+	var buf [controlFrameBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], ControlMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(f.Type))
+	binary.LittleEndian.PutUint64(buf[16:], f.Mask)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadControl reads and validates one control frame.
+func ReadControl(r io.Reader) (ControlFrame, error) {
+	var buf [controlFrameBytes]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return ControlFrame{}, err
+	}
+	if m := binary.LittleEndian.Uint64(buf[0:]); m != ControlMagic {
+		return ControlFrame{}, fmt.Errorf("relay: bad control magic %#x", m)
+	}
+	return ControlFrame{
+		Type: ControlType(binary.LittleEndian.Uint64(buf[8:])),
+		Mask: binary.LittleEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// ControlSender serializes control frames onto one producer connection.
+// Handlers may call it from any goroutine; writes are bounded by a short
+// deadline so a producer that never drains its socket cannot wedge the
+// collector.
+type ControlSender struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewControlSender wraps a connection (or any writer) for control frames.
+func NewControlSender(w io.Writer) *ControlSender { return &ControlSender{w: w} }
+
+// Send writes one frame.
+func (s *ControlSender) Send(f ControlFrame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.w.(net.Conn); ok {
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		defer c.SetWriteDeadline(time.Time{})
+	}
+	return WriteControl(s.w, f)
+}
+
+// SetMask sends a CtrlSetMask frame.
+func (s *ControlSender) SetMask(mask uint64) error {
+	return s.Send(ControlFrame{Type: CtrlSetMask, Mask: mask})
+}
+
+// MaskApplier returns an OnControl callback that applies CtrlSetMask
+// frames to the tracer via ApplyMask, logging the in-band CtrlMaskChange
+// marker on every CPU. Unknown frame types are ignored so old producers
+// survive newer collectors.
+func MaskApplier(tr *core.Tracer) func(ControlFrame) {
+	return func(f ControlFrame) {
+		if f.Type == CtrlSetMask {
+			tr.ApplyMask(f.Mask)
+		}
+	}
+}
+
+// readControls drains control frames from a connection until it dies,
+// dispatching each to on. It runs on its own goroutine per dialed
+// connection; the conn closing (drop, redial, or sender exit) ends it.
+func readControls(r io.Reader, on func(ControlFrame), frames *atomic.Uint64) {
+	for {
+		f, err := ReadControl(r)
+		if err != nil {
+			return
+		}
+		frames.Add(1)
+		on(f)
+	}
+}

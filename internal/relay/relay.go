@@ -58,7 +58,7 @@ type Handler func(remote net.Addr, bs *stream.BlockStream) error
 // Server accepts trace streams from traced systems.
 type Server struct {
 	ln      net.Listener
-	handler Handler
+	handler func(conn net.Conn, bs *stream.BlockStream) error
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	errs    []error
@@ -69,6 +69,15 @@ type Server struct {
 // Listen starts a collector on addr (use "127.0.0.1:0" for an ephemeral
 // port) and serves connections with h until Close.
 func Listen(addr string, h Handler) (*Server, error) {
+	return listen(addr, func(conn net.Conn, bs *stream.BlockStream) error {
+		return h(conn.RemoteAddr(), bs)
+	})
+}
+
+// listen is the shared server constructor: handlers receive the raw
+// connection so per-connection facilities (the control back-channel) can
+// be attached without the public Handler signature knowing about them.
+func listen(addr string, h func(conn net.Conn, bs *stream.BlockStream) error) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("relay: listen %s: %w", addr, err)
@@ -115,7 +124,7 @@ func (s *Server) handleConn(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	return s.handler(conn.RemoteAddr(), bs)
+	return s.handler(conn, bs)
 }
 
 // Close stops accepting and waits for in-flight connections to finish,
@@ -151,11 +160,13 @@ func (s *Server) close(force bool) error {
 
 // Conn identifies one producer connection for handlers that track
 // per-producer state: a unique id in accept order, the remote address,
-// and the validated block stream.
+// the validated block stream, and the control back-channel for writing
+// frames (mask updates) back down the same TCP connection.
 type Conn struct {
-	ID     uint64
-	Remote net.Addr
-	Stream *stream.BlockStream
+	ID      uint64
+	Remote  net.Addr
+	Stream  *stream.BlockStream
+	Control *ControlSender
 }
 
 // ConnHandler processes one producer connection with its identity;
@@ -167,12 +178,12 @@ type ConnHandler func(c Conn) error
 func ListenConns(addr string, h ConnHandler) (*Server, error) {
 	var mu sync.Mutex
 	var next uint64
-	return Listen(addr, func(remote net.Addr, bs *stream.BlockStream) error {
+	return listen(addr, func(conn net.Conn, bs *stream.BlockStream) error {
 		mu.Lock()
 		next++
 		id := next
 		mu.Unlock()
-		return h(Conn{ID: id, Remote: remote, Stream: bs})
+		return h(Conn{ID: id, Remote: conn.RemoteAddr(), Stream: bs, Control: NewControlSender(conn)})
 	})
 }
 

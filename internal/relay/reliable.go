@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"k42trace/internal/core"
@@ -38,6 +39,12 @@ type ReliableOptions struct {
 	DialTimeout time.Duration
 	// OnRetry, if set, observes each failed attempt.
 	OnRetry func(err error, attempt int)
+	// OnControl, if set, receives every control frame the collector writes
+	// back down the connection (a reader goroutine is spawned per dialed
+	// connection, so a new connection — including a reconnect — picks up
+	// any pending mask the collector replays). Pair with MaskApplier to
+	// let the collector retune the tracer at runtime.
+	OnControl func(ControlFrame)
 }
 
 func (o *ReliableOptions) defaults() {
@@ -57,11 +64,12 @@ func (o *ReliableOptions) defaults() {
 
 // ReliableStats summarizes a SendReliable run.
 type ReliableStats struct {
-	Blocks    int // blocks accepted by some connection
-	Anomalies int
-	Dials     int // successful dials (>= 1 reconnection when > 1)
-	Retries   int // block writes retried after a connection died
-	Dropped   int // blocks released unsent after giving up
+	Blocks        int // blocks accepted by some connection
+	Anomalies     int
+	Dials         int    // successful dials (>= 1 reconnection when > 1)
+	Retries       int    // block writes retried after a connection died
+	Dropped       int    // blocks released unsent after giving up
+	ControlFrames uint64 // control frames received (OnControl deliveries)
 }
 
 // SendReliable streams a tracer's sealed buffers to addr until the tracer
@@ -79,6 +87,7 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 	var conn net.Conn
 	var w io.Writer
 	var wr *stream.Writer
+	var ctrlFrames atomic.Uint64
 	drop := func(conn net.Conn) {
 		if conn != nil {
 			conn.Close()
@@ -111,6 +120,9 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 					} else {
 						conn = c
 						st.Dials++
+						if opt.OnControl != nil {
+							go readControls(c, opt.OnControl, &ctrlFrames)
+						}
 					}
 				}
 				if err != nil {
@@ -119,6 +131,7 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 						opt.OnRetry(err, attempt)
 					}
 					if attempt >= opt.MaxAttempts {
+						st.ControlFrames = ctrlFrames.Load()
 						return giveUp(tr, st, s, fmt.Errorf(
 							"relay: giving up on %s after %d attempts: %w", addr, attempt, err))
 					}
@@ -137,6 +150,7 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 					opt.OnRetry(err, attempt)
 				}
 				if attempt >= opt.MaxAttempts {
+					st.ControlFrames = ctrlFrames.Load()
 					return giveUp(tr, st, s, fmt.Errorf(
 						"relay: giving up on %s after %d attempts: %w", addr, attempt, err))
 				}
@@ -153,6 +167,7 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 		backoff = opt.InitialBackoff
 		tr.Release(s)
 	}
+	st.ControlFrames = ctrlFrames.Load()
 	return st, nil
 }
 

@@ -171,6 +171,11 @@ type IndexEntry struct {
 	Block int
 	Seq   uint64
 	Start uint64 // full timestamp of the block's first event
+	// Flagged marks an entry whose anchor was lost to garbling or whose
+	// raw start would have broken the per-CPU monotonic order BuildIndex
+	// guarantees. Its Start is a clamped lower bound, not an exact time;
+	// seeks treat flagged entries conservatively.
+	Flagged bool
 }
 
 // Index is a per-CPU time index over the file's blocks, built from block
@@ -183,6 +188,14 @@ type Index struct {
 // index used for seeking. The block header and the leading clock anchor
 // are contiguous on disk, so each block costs a single 48-byte read into a
 // reused scratch buffer.
+//
+// Per CPU the Start sequence is guaranteed non-decreasing: a block whose
+// anchor was garbled falls back to the 32-bit header stamp (an all-zero
+// block yields 0), which would leave sort.Search in SeekTime and
+// EventsBetween running over unsorted data and silently returning wrong
+// block ranges. Such entries — and any raw start that dips below its
+// predecessor — are clamped to the previous block's Start and Flagged, so
+// binary searches stay correct and seeks treat them conservatively.
 func (rd *Reader) BuildIndex() (*Index, error) {
 	ix := &Index{PerCPU: make([][]IndexEntry, rd.meta.CPUs)}
 	scratch := make([]byte, blockHdrWords*8+16) // header + anchor header + full timestamp
@@ -197,9 +210,13 @@ func (rd *Reader) BuildIndex() (*Index, error) {
 		if h.CPU < 0 || h.CPU >= rd.meta.CPUs {
 			return nil, fmt.Errorf("stream: block %d has CPU %d out of range", k, h.CPU)
 		}
-		start := anchorTime(scratch[blockHdrWords*8:])
-		ix.PerCPU[h.CPU] = append(ix.PerCPU[h.CPU],
-			IndexEntry{Block: k, Seq: h.Seq, Start: start})
+		start, anchored := anchorTimeOK(scratch[blockHdrWords*8:])
+		e := IndexEntry{Block: k, Seq: h.Seq, Start: start, Flagged: !anchored}
+		if prev := ix.PerCPU[h.CPU]; len(prev) > 0 && start < prev[len(prev)-1].Start {
+			e.Start = prev[len(prev)-1].Start
+			e.Flagged = true
+		}
+		ix.PerCPU[h.CPU] = append(ix.PerCPU[h.CPU], e)
 	}
 	return ix, nil
 }
@@ -208,11 +225,19 @@ func (rd *Reader) BuildIndex() (*Index, error) {
 // bytes: the full timestamp of the leading clock anchor, or the 32-bit
 // header stamp when the anchor was lost to garbling.
 func anchorTime(b []byte) uint64 {
+	t, _ := anchorTimeOK(b)
+	return t
+}
+
+// anchorTimeOK is anchorTime plus whether a valid anchor was present; the
+// 32-bit fallback is only an epoch-relative guess, which BuildIndex must
+// know to keep its per-CPU order guarantee.
+func anchorTimeOK(b []byte) (uint64, bool) {
 	h := event.Header(getWord(b, 0))
 	if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && h.Len() >= 2 {
-		return getWord(b, 1)
+		return getWord(b, 1), true
 	}
-	return uint64(h.Timestamp())
+	return uint64(h.Timestamp()), false
 }
 
 // SeekTime returns, per CPU, the index of the first block that could
@@ -226,15 +251,27 @@ func (ix *Index) SeekTime(t uint64) []int {
 		if len(entries) == 0 {
 			continue
 		}
-		// First entry with Start > t, then step back one.
+		// First entry with Start > t, then step back.
 		i := sort.Search(len(entries), func(i int) bool { return entries[i].Start > t })
-		if i == 0 {
-			out[cpu] = entries[0].Block
-			continue
-		}
-		out[cpu] = entries[i-1].Block
+		out[cpu] = entries[seekBack(entries, i)].Block
 	}
 	return out
+}
+
+// seekBack turns i — the first entry with Start > t — into the index of
+// the earliest block that could still contain events at or after t.
+// Normally a single step back; it keeps stepping over entries whose Start
+// is only a clamped lower bound (Flagged) or duplicates the predecessor's
+// Start, because such a block's true extent is unknown and the block
+// before it may still reach past t.
+func seekBack(entries []IndexEntry, i int) int {
+	if i > 0 {
+		i--
+	}
+	for i > 0 && (entries[i].Flagged || entries[i].Start == entries[i-1].Start) {
+		i--
+	}
+	return i
 }
 
 // ReadAll decodes the whole file and returns events merged across CPUs in
@@ -250,12 +287,12 @@ func (rd *Reader) ReadAll() ([]event.Event, core.DecodeStats, error) {
 // using the index to touch only the necessary blocks.
 func (rd *Reader) EventsBetween(ix *Index, from, to uint64) ([]event.Event, error) {
 	var out []event.Event
-	for cpu, entries := range ix.PerCPU {
-		_ = cpu
-		i := sort.Search(len(entries), func(i int) bool { return entries[i].Start > from })
-		if i > 0 {
-			i--
+	for _, entries := range ix.PerCPU {
+		if len(entries) == 0 {
+			continue
 		}
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].Start > from })
+		i = seekBack(entries, i)
 		for ; i < len(entries); i++ {
 			if entries[i].Start >= to {
 				break

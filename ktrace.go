@@ -153,6 +153,22 @@ const (
 	NumMajors      = event.NumMajors
 )
 
+// CtrlMaskChange is the MajorControl minor that marks the instant a new
+// trace mask took effect on a CPU (payload: new mask, previous mask).
+// Within one CPU's stream it is an exact visibility-epoch boundary.
+const CtrlMaskChange = event.CtrlMaskChange
+
+// ParseMask parses a trace-mask spec: "all", "none", a hex or decimal
+// literal, or comma-separated major names ("ctrl,sched,lock"). Name
+// lists always include the CTRL bit so control markers keep flowing.
+func ParseMask(spec string) (uint64, error) { return event.ParseMask(spec) }
+
+// MaskString renders a trace mask as a hex literal.
+func MaskString(mask uint64) string { return event.MaskString(mask) }
+
+// MaskMajors lists the enabled majors' names, sorted by bit position.
+func MaskMajors(mask uint64) []string { return event.MaskMajors(mask) }
+
 // Registry maps (major, minor) to self-describing event records.
 type Registry = event.Registry
 
