@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/
 
 # Per-target budget for the fuzz smoke run (matches the CI job).
 FUZZTIME ?= 30s
@@ -8,7 +8,7 @@ FUZZTIME ?= 30s
 # Where `make bench` writes its machine-readable results.
 BENCH_JSON ?= BENCH_pr3.json
 
-.PHONY: check build vet test race bench fuzz live-smoke
+.PHONY: check build vet test race bench fuzz live-smoke shm-smoke
 
 check: vet build test race
 
@@ -46,3 +46,9 @@ bench:
 # surface + SIGTERM drain + tracecheck on the spill.
 live-smoke:
 	./scripts/live_smoke.sh
+
+# End-to-end shared-memory smoke: ktraced + real client processes +
+# SIGKILL mid-reservation + live tracecheck -shm + drain + exact loss
+# accounting via tracecheck -salvage.
+shm-smoke:
+	./scripts/shm_smoke.sh

@@ -8,6 +8,8 @@ package ktrace_test
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -203,6 +205,73 @@ func BenchmarkC4LoggingThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- C4 across address spaces: the shared-memory producer ----------------
+//
+// §2: applications log "directly into the buffers via memory mapped
+// access" — mapping is what makes user-level tracing cost what kernel
+// tracing costs, instead of a system call per event. Rows: a client
+// attached to a daemon-owned segment (the CAS protocol running on the
+// mmap'd words, agent draining concurrently), the in-process streaming
+// tracer on identical geometry, and the syscall-per-event baseline that
+// user-mapped buffers exist to avoid.
+
+func BenchmarkShmLog(b *testing.B) {
+	const bufWords, numBufs = 16384, 4
+
+	b.Run("shm-client", func(b *testing.B) {
+		ag, err := ktrace.CreateShmSegment(filepath.Join(b.TempDir(), "bench.seg"),
+			ktrace.ShmGeometry{CPUs: 1, BufWords: bufWords, NumBufs: numBufs, MaxClients: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait := stream.CaptureAsync(ag, io.Discard)
+		cl, err := ktrace.Attach(ag.Path())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cl.CPU(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Log1(ktrace.MajorTest, 1, uint64(i))
+		}
+		b.StopTimer()
+		if err := cl.Detach(); err != nil {
+			b.Fatal(err)
+		}
+		ag.Stop()
+		if _, err := wait(); err != nil {
+			b.Fatal(err)
+		}
+		ag.Close()
+	})
+
+	b.Run("in-process", func(b *testing.B) {
+		tr := ktrace.MustNew(ktrace.Config{
+			CPUs: 1, BufWords: bufWords, NumBufs: numBufs, Mode: ktrace.Stream})
+		tr.EnableAll()
+		wait := ktrace.CaptureAsync(tr, io.Discard)
+		c := tr.CPU(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Log1(ktrace.MajorTest, 1, uint64(i))
+		}
+		b.StopTimer()
+		tr.Stop()
+		if _, err := wait(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("syscall-baseline", func(b *testing.B) {
+		l := baseline.NewSyscallLogger(bufWords, clock.NewSync())
+		defer l.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Log1(0, ktrace.MajorTest, 1, uint64(i))
+		}
+	})
 }
 
 // --- C4 in virtual time: locked vs lockless tracing at scale ----------------

@@ -1,0 +1,123 @@
+// Command ktraced is the shared-memory trace daemon — the reproduction of
+// K42's user-level trace daemon, "responsible for writing the data to
+// disk", for segments that real OS processes map and log into with no
+// system calls. It creates a segment file (put it on tmpfs), publishes it
+// for clients (any process using ktrace.Attach or the shmlog driver),
+// continuously drains sealed buffers, writes off clients that die without
+// detaching — including SIGKILL mid-event, which surfaces as a
+// commit-count anomaly on the affected buffer — and on SIGINT/SIGTERM
+// seals what remains and exits.
+//
+// Drained buffers go to a trace file (-spill) or over the network to a
+// collector like tracecolld (-relay, with reliable reconnecting), using
+// the same block format as in-process tracing, so every offline and live
+// tool works unchanged on cross-process traces.
+//
+// Usage:
+//
+//	ktraced -seg /dev/shm/k42.seg -spill out.ktr
+//	ktraced -seg /dev/shm/k42.seg -cpus 4 -relay 127.0.0.1:7042
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	ktrace "k42trace"
+	"k42trace/internal/event"
+	"k42trace/internal/relay"
+	"k42trace/internal/shm"
+	"k42trace/internal/stream"
+)
+
+func main() {
+	seg := flag.String("seg", "", "segment file to create and own (tmpfs recommended)")
+	cpus := flag.Int("cpus", 2, "processor slots")
+	bufWords := flag.Int("bufwords", 0, "buffer size in words (power of two; 0 = default)")
+	numBufs := flag.Int("numbufs", 0, "buffers per CPU (power of two; 0 = default)")
+	maxClients := flag.Int("max-clients", 64, "client table capacity")
+	spill := flag.String("spill", "", "write drained buffers to this trace file")
+	relayAddr := flag.String("relay", "", "stream drained buffers to this collector address instead")
+	maskSpec := flag.String("mask", "all", `trace mask ("all", hex literal, or major names like "sched,lock")`)
+	rm := flag.Bool("rm", false, "remove the segment file on exit")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ktraced:", err)
+		os.Exit(1)
+	}
+	if *seg == "" {
+		fmt.Fprintln(os.Stderr, "ktraced: -seg is required")
+		os.Exit(2)
+	}
+	if (*spill == "") == (*relayAddr == "") {
+		fmt.Fprintln(os.Stderr, "ktraced: exactly one of -spill or -relay is required")
+		os.Exit(2)
+	}
+	mask, err := event.ParseMask(*maskSpec)
+	if err != nil {
+		fail(err)
+	}
+
+	ag, err := shm.Create(*seg, shm.Geometry{
+		CPUs: *cpus, BufWords: *bufWords, NumBufs: *numBufs, MaxClients: *maxClients,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ag.SetMask(mask)
+	g := ag.Geometry()
+	fmt.Printf("ktraced: segment %s ready: %d cpu x %d bufs x %d words, %d client slots, mask %s\n",
+		*seg, g.CPUs, g.NumBufs, g.BufWords, g.MaxClients, ktrace.MaskString(mask))
+
+	// The drain runs until Stop closes the Sealed channel; the signal
+	// handler is what triggers that.
+	type result struct {
+		blocks, anoms int
+		err           error
+	}
+	done := make(chan result, 1)
+	if *relayAddr != "" {
+		go func() {
+			st, err := relay.SendReliable(ag, *relayAddr, relay.ReliableOptions{})
+			done <- result{st.Blocks, st.Anomalies, err}
+		}()
+	} else {
+		f, err := os.Create(*spill)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			st, err := stream.Capture(ag, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			done <- result{st.Blocks, st.Anomalies, err}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Printf("ktraced: %v: draining\n", sig)
+	ag.Stop()
+	res := <-done
+	if res.err != nil {
+		fmt.Fprintln(os.Stderr, "ktraced: drain:", res.err)
+	}
+	st := ag.Stats()
+	fmt.Printf("ktraced: %d blocks (%d anomalous), %d events, %d dead clients reaped\n",
+		res.blocks, res.anoms, st.Events, ag.Reaped())
+	if err := ag.Close(); err != nil {
+		fail(err)
+	}
+	if *rm {
+		os.Remove(*seg)
+	}
+	if res.err != nil || res.anoms > 0 {
+		os.Exit(1)
+	}
+}

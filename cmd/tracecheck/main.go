@@ -9,10 +9,16 @@
 // file header is recovered by scanning for block magics, and -o rewrites
 // the surviving blocks as a clean trace file.
 //
+// With -shm the argument is a live shared-memory trace segment (owned by
+// ktraced) instead of a trace file: tracecheck snapshots it through a
+// read-only mapping — geometry, per-CPU fill and commit state, attached
+// pids and lease ages — without stopping any producer.
+//
 // Usage:
 //
 //	tracecheck trace.ktr
 //	tracecheck -salvage [-o repaired.ktr] [-j 8] damaged.ktr
+//	tracecheck -shm /dev/shm/k42.seg
 package main
 
 import (
@@ -27,12 +33,22 @@ func main() {
 	salvage := flag.Bool("salvage", false, "read forgivingly: quarantine bad blocks instead of failing")
 	out := flag.String("o", "", "with -salvage: rewrite the surviving blocks to this file")
 	workers := flag.Int("j", 0, "decode workers (0 = all cores)")
+	shmSeg := flag.Bool("shm", false, "argument is a live shared-memory segment: inspect it without stopping producers")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-salvage [-o repaired.ktr]] [-j N] trace.ktr")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-salvage [-o repaired.ktr]] [-j N] trace.ktr | tracecheck -shm segment")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if *shmSeg {
+		info, err := ktrace.InspectShmSegment(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		info.Format(os.Stdout)
+		return
+	}
 	if *salvage {
 		runSalvage(path, *out, *workers)
 		return

@@ -54,14 +54,15 @@ func (t *Tracer) WriteCrashDump(w io.Writer) error {
 	buf := make([]byte, 8*(1+t.numBufs))
 	data := make([]byte, 8*t.bufWords*t.numBufs)
 	for _, ctl := range t.cpus {
-		binary.LittleEndian.PutUint64(buf[0:], ctl.index.Load())
-		for i := range ctl.slots {
-			binary.LittleEndian.PutUint64(buf[8+8*i:], ctl.slots[i].committed.Load())
+		a := ctl.a
+		binary.LittleEndian.PutUint64(buf[0:], a.Index())
+		for i := 0; i < a.NumBufs(); i++ {
+			binary.LittleEndian.PutUint64(buf[8+8*i:], a.SlotCommitted(i))
 		}
 		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("core: crash dump cpu %d state: %w", ctl.cpu, err)
 		}
-		for i, word := range ctl.buf {
+		for i, word := range a.Buf() {
 			binary.LittleEndian.PutUint64(data[8*i:], word)
 		}
 		if _, err := w.Write(data); err != nil {

@@ -158,9 +158,9 @@ func DecodeRecorder(cpu int, buf []uint64, index, bufWords, numBufs uint64) ([]e
 }
 
 func (t *Tracer) dumpLocked(cpu int) ([]event.Event, DumpInfo) {
-	ctl := t.cpus[cpu]
-	idx := ctl.index.Load()
-	out, info := DecodeRecorder(cpu, ctl.buf, idx, t.bufWords, t.numBufs)
+	a := t.cpus[cpu].a
+	idx := a.Index()
+	out, info := DecodeRecorder(cpu, a.Buf(), idx, t.bufWords, t.numBufs)
 	if idx == 0 {
 		return out, info
 	}
@@ -180,8 +180,8 @@ func (t *Tracer) dumpLocked(cpu int) ([]event.Event, DumpInfo) {
 				continue
 			}
 		}
-		sl := &ctl.slots[g&(t.numBufs-1)]
-		if sl.start.Load() == g*bw && sl.committed.Load() != n {
+		sl := int(g & (t.numBufs - 1))
+		if a.SlotStart(sl) == g*bw && a.SlotCommitted(sl) != n {
 			info.Anomalies++
 		}
 	}

@@ -33,12 +33,12 @@ func TestZeroFillScrubsRecycledBuffers(t *testing.T) {
 		<-done
 		// Inspect the slot holding the final partial buffer: the words
 		// past the flush offset are the recycled remains.
-		ctl := tr.cpus[0]
-		idx := ctl.index.Load()
+		a := tr.cpus[0].a
+		idx := a.Index()
 		off := idx & 31
 		lo := (idx - off) & tr.indexMask
 		for i := lo + off; i < lo+32; i++ {
-			if ctl.buf[i] != 0 {
+			if a.Buf()[i] != 0 {
 				staleWords++
 			}
 		}
@@ -158,8 +158,8 @@ func TestRedactHidesOnlyInvisibleMajors(t *testing.T) {
 	c.Log0(event.MajorIO, 4)
 	old := tr.Quiesce()
 	defer tr.SetMask(old)
-	idx := tr.cpus[0].index.Load()
-	words := tr.cpus[0].buf[:idx]
+	idx := tr.cpus[0].a.Index()
+	words := tr.cpus[0].a.Buf()[:idx]
 
 	red := Redact(words, VisibleMask(event.MajorMem))
 	evs, st := DecodeBuffer(0, red)

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"runtime"
+	"sync/atomic"
 
 	"k42trace/internal/event"
 )
@@ -16,7 +16,7 @@ const (
 )
 
 // reserve implements traceReserve from Figure 2 of the paper. It reserves
-// length words (header included) in this CPU's trace memory and returns
+// length words (header included) in this arena's trace memory and returns
 // the free-running start index and the timestamp to put in the header.
 //
 // The timestamp is (re-)read inside the retry loop, immediately before the
@@ -24,22 +24,22 @@ const (
 // timestamps [so] processes must re-determine the timestamp during each
 // attempt to atomically increment the index." A successful CAS therefore
 // orders the timestamp read after the previous winner's CAS, making each
-// CPU's stream monotone.
-func (ctl *TrcCtl) reserve(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
-	t := ctl.t
-	bw := t.bufWords
-	if t.cfg.UnsafeStaleTimestamp {
+// CPU's stream monotone — across goroutines and, when the arena words are
+// a shared mapping, across processes.
+func (a *Arena) reserve(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
+	bw := a.bufWords
+	if a.staleTS {
 		// Ablation: the bug the paper warns against — one read before the
 		// loop. A process that loses the CAS and retries keeps its stale
 		// timestamp, so a competitor can take an earlier slot with a later
 		// stamp (or vice versa), breaking per-stream monotonicity.
-		ts = t.clock.Now(ctl.cpu)
+		ts = a.clk.Now(a.cpu)
 	}
 	for {
-		old := ctl.index.Load()
+		old := a.Index()
 		off := old & (bw - 1)
 		if off == 0 || off+uint64(length) > bw {
-			i, s, res := ctl.reserveSlow(bit, old, length)
+			i, s, res := a.reserveSlow(bit, old, length)
 			switch res {
 			case slowWon:
 				return i, s, true
@@ -48,16 +48,16 @@ func (ctl *TrcCtl) reserve(bit uint64, length int) (idx uint64, ts uint64, ok bo
 			}
 			continue // slowRetry
 		}
-		if !t.cfg.UnsafeStaleTimestamp {
-			ts = t.clock.Now(ctl.cpu)
+		if !a.staleTS {
+			ts = a.clk.Now(a.cpu)
 		}
-		if ctl.index.CompareAndSwap(old, old+uint64(length)) {
+		if atomic.CompareAndSwapUint64(&a.ctl[ctlIndex], old, old+uint64(length)) {
 			if (old+uint64(length))&(bw-1) == 0 {
-				ctl.stats.exactFit.Add(1)
+				a.statAdd(ctlStatExactFit, 1)
 			}
 			return old, ts, true
 		}
-		ctl.stats.retries.Add(1)
+		a.statAdd(ctlStatRetries, 1)
 	}
 }
 
@@ -68,9 +68,8 @@ func (ctl *TrcCtl) reserve(bit uint64, length int) (idx uint64, ts uint64, ok bo
 // it writes the filler, claims the next buffer slot, logs the clock-anchor
 // event that begins every buffer, and returns the space for the caller's
 // own event just after the anchor.
-func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint64, slowResult) {
-	t := ctl.t
-	bw := t.bufWords
+func (a *Arena) reserveSlow(bit uint64, old uint64, length int) (uint64, uint64, slowResult) {
+	bw := a.bufWords
 	off := old & (bw - 1)
 	boundary := old
 	if off != 0 {
@@ -79,56 +78,57 @@ func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint
 	fill := boundary - old
 	target := boundary + anchorWords + uint64(length)
 
-	newSlot := &ctl.slots[(boundary/bw)&(t.numBufs-1)]
-	if t.cfg.Mode == Stream && newSlot.state.Load() != slotFree {
+	newSlot := int((boundary / bw) & (a.numBufs - 1))
+	if a.stream && a.SlotState(newSlot) != slotFree {
 		// The consumer has not released this buffer yet.
-		switch t.cfg.OnFull {
-		case Drop:
-			ctl.stats.dropped.Add(1)
+		if a.onFull == nil { // Drop policy
+			a.statAdd(ctlStatDropped, 1)
 			return 0, 0, slowDropped
-		default: // Block
-			if t.mask.Load()&bit == 0 {
-				// Tracing was disabled (or the tracer stopped) while we
-				// waited; bail out rather than blocking shutdown.
-				ctl.stats.dropped.Add(1)
-				return 0, 0, slowDropped
-			}
-			if ctl.reclaimStuck(newSlot, boundary) {
-				return 0, 0, slowRetry // slot sealed anomalous; try again
-			}
-			ctl.stats.blockWaits.Add(1)
-			runtime.Gosched()
-			return 0, 0, slowRetry
 		}
+		if a.mask.Load()&bit == 0 {
+			// Tracing was disabled (or the tracer stopped) while we
+			// waited; bail out rather than blocking shutdown.
+			a.statAdd(ctlStatDropped, 1)
+			return 0, 0, slowDropped
+		}
+		if a.reclaimStuck(newSlot, boundary) {
+			return 0, 0, slowRetry // slot sealed anomalous; try again
+		}
+		a.statAdd(ctlStatBlockWaits, 1)
+		if !a.onFull() {
+			a.statAdd(ctlStatDropped, 1)
+			return 0, 0, slowDropped
+		}
+		return 0, 0, slowRetry
 	}
 
-	ts := t.clock.Now(ctl.cpu)
-	if !ctl.index.CompareAndSwap(old, target) {
-		ctl.stats.retries.Add(1)
+	ts := a.clk.Now(a.cpu)
+	if !atomic.CompareAndSwapUint64(&a.ctl[ctlIndex], old, target) {
+		a.statAdd(ctlStatRetries, 1)
 		return 0, 0, slowRetry
 	}
 
 	// We are the unique transition winner for this boundary.
-	newSlot.state.Store(slotInUse)
-	newSlot.start.Store(boundary)
-	if t.cfg.Mode == FlightRecorder {
-		// Recycle the slot's accounting for the new generation. (In Stream
-		// mode the consumer's Release resets it while the slot is
-		// quiescent.)
-		newSlot.committed.Store(0)
+	atomic.StoreUint64(a.slotWord(newSlot, slotWState), slotInUse)
+	atomic.StoreUint64(a.slotWord(newSlot, slotWStart), boundary)
+	if !a.stream {
+		// Flight recorder: recycle the slot's accounting for the new
+		// generation. (In Stream mode the consumer's Release resets it
+		// while the slot is quiescent.)
+		atomic.StoreUint64(a.slotWord(newSlot, slotWCommitted), 0)
 	}
 	if fill > 0 {
-		ctl.writeFiller(old, fill, uint32(ts))
-		ctl.commit(old, fill)
+		a.writeFiller(old, fill, uint32(ts))
+		a.commit(old, fill)
 	}
-	pos := boundary & t.indexMask
-	ctl.buf[pos] = uint64(event.MakeHeader(uint32(ts), anchorWords,
+	pos := boundary & a.indexMask
+	a.buf[pos] = uint64(event.MakeHeader(uint32(ts), anchorWords,
 		event.MajorControl, event.CtrlClockAnchor))
-	ctl.buf[pos+1] = ts
-	ctl.stats.anchors.Add(1)
-	ctl.commit(boundary, anchorWords)
+	a.buf[pos+1] = ts
+	a.statAdd(ctlStatAnchors, 1)
+	a.commit(boundary, anchorWords)
 	if target&(bw-1) == 0 {
-		ctl.stats.exactFit.Add(1)
+		a.statAdd(ctlStatExactFit, 1)
 	}
 	return boundary + anchorWords, ts, slowWon
 }
@@ -143,36 +143,38 @@ func (ctl *TrcCtl) reserveSlow(bit uint64, old uint64, length int) (uint64, uint
 // "reports an anomaly if they do not match"; this is that write-out,
 // deferred to the moment a writer actually needs the slot back.
 //
-// Reclaiming is only race-free when no other logger on this CPU is in
+// Reclaiming is only race-free when no other logger on this arena is in
 // flight: commits happen only inside in-flight logging calls, so with the
-// caller alone (inflight == 1, counting itself) the stuck buffer's commit
-// count is final and the consumer may read its words. The state CAS makes
-// the seal unique against the buffer completing concurrently after all.
-func (ctl *TrcCtl) reclaimStuck(sl *slot, boundary uint64) bool {
-	t := ctl.t
-	if ctl.inflight.Load() != 1 {
+// caller alone (InflightTotal == 1, counting itself) the stuck buffer's
+// commit count is final and the consumer may read its words. The state
+// CAS makes the seal unique against the buffer completing concurrently
+// after all, and against a polling consumer's TakeStuck.
+func (a *Arena) reclaimStuck(slot int, boundary uint64) bool {
+	if a.InflightTotal() != 1 {
 		return false
 	}
-	start := sl.start.Load()
+	start := a.SlotStart(slot)
 	if start >= boundary {
 		return false // current generation; not ours to seal
 	}
-	committed := sl.committed.Load()
-	if committed >= t.bufWords {
+	committed := a.SlotCommitted(slot)
+	if committed >= a.bufWords {
 		return false // fully committed: its last commit seals it
 	}
-	if !sl.state.CompareAndSwap(slotInUse, slotPending) {
+	if !atomic.CompareAndSwapUint64(a.slotWord(slot, slotWState), slotInUse, slotPending) {
 		return false
 	}
-	lo := start & t.indexMask
-	ctl.stats.seals.Add(1)
-	ctl.stats.stuckSeals.Add(1)
-	t.sealed <- Sealed{
-		CPU:       ctl.cpu,
-		Seq:       start / t.bufWords,
-		Start:     start,
-		Words:     ctl.buf[lo : lo+t.bufWords],
-		Committed: committed,
+	a.statAdd(ctlStatSeals, 1)
+	a.statAdd(ctlStatStuckSeals, 1)
+	if a.onSeal != nil {
+		lo := start & a.indexMask
+		a.onSeal(Sealed{
+			CPU:       a.cpu,
+			Seq:       start / a.bufWords,
+			Start:     start,
+			Words:     a.buf[lo : lo+a.bufWords],
+			Committed: committed,
+		})
 	}
 	return true
 }
@@ -182,17 +184,17 @@ func (ctl *TrcCtl) reclaimStuck(sl *slot, boundary uint64) bool {
 // length equal to the remainder of the current buffer; no data need be
 // logged"). Remainders larger than the maximum event length chain multiple
 // fillers.
-func (ctl *TrcCtl) writeFiller(from, n uint64, ts32 uint32) {
-	mask := ctl.t.indexMask
-	ctl.stats.fillerWords.Add(n)
+func (a *Arena) writeFiller(from, n uint64, ts32 uint32) {
+	mask := a.indexMask
+	a.statAdd(ctlStatFillerWords, n)
 	for n > 0 {
 		l := n
 		if l > event.MaxWords {
 			l = event.MaxWords
 		}
-		ctl.buf[from&mask] = uint64(event.MakeHeader(ts32, int(l),
+		a.buf[from&mask] = uint64(event.MakeHeader(ts32, int(l),
 			event.MajorControl, event.CtrlFiller))
-		ctl.stats.fillerEvents.Add(1)
+		a.statAdd(ctlStatFillerEvents, 1)
 		from += l
 		n -= l
 	}
@@ -201,24 +203,26 @@ func (ctl *TrcCtl) writeFiller(from, n uint64, ts32 uint32) {
 // commit is traceCommit: it adds words to the per-buffer count of data
 // actually logged. When the count reaches the buffer size the buffer is
 // complete; in Stream mode the committer that completes it seals it and
-// hands it to the consumer. A buffer whose count never reaches its size
-// had a writer that reserved space but never finished logging — the
-// anomaly the per-buffer counts exist to detect.
-func (ctl *TrcCtl) commit(idx uint64, words uint64) {
-	t := ctl.t
-	s := &ctl.slots[(idx/t.bufWords)&(t.numBufs-1)]
-	c := s.committed.Add(words)
-	if c == t.bufWords && t.cfg.Mode == Stream {
-		s.state.Store(slotPending)
-		start := s.start.Load()
-		lo := start & t.indexMask
-		ctl.stats.seals.Add(1)
-		t.sealed <- Sealed{
-			CPU:       ctl.cpu,
-			Seq:       start / t.bufWords,
-			Start:     start,
-			Words:     ctl.buf[lo : lo+t.bufWords],
-			Committed: t.bufWords,
+// hands it to the consumer (or, with no OnSeal hook, leaves it Pending for
+// a polling consumer). A buffer whose count never reaches its size had a
+// writer that reserved space but never finished logging — the anomaly the
+// per-buffer counts exist to detect.
+func (a *Arena) commit(idx uint64, words uint64) {
+	slot := int((idx / a.bufWords) & (a.numBufs - 1))
+	c := atomic.AddUint64(a.slotWord(slot, slotWCommitted), words)
+	if c == a.bufWords && a.stream {
+		atomic.StoreUint64(a.slotWord(slot, slotWState), slotPending)
+		a.statAdd(ctlStatSeals, 1)
+		if a.onSeal != nil {
+			start := a.SlotStart(slot)
+			lo := start & a.indexMask
+			a.onSeal(Sealed{
+				CPU:       a.cpu,
+				Seq:       start / a.bufWords,
+				Start:     start,
+				Words:     a.buf[lo : lo+a.bufWords],
+				Committed: a.bufWords,
+			})
 		}
 	}
 }
@@ -231,10 +235,10 @@ func (ctl *TrcCtl) commit(idx uint64, words uint64) {
 // once here — and both loads are necessary; neither is the redundancy it
 // looks like. The entry-point check keeps the *disabled* path to a single
 // load+branch (the paper's "single comparison against a trace mask"
-// cost); doing inflight.Add first would put two atomic RMWs on every
-// disabled trace point. The re-load here, *after* inflight.Add, closes
+// cost); doing the inflight add first would put two atomic RMWs on every
+// disabled trace point. The re-load here, *after* the inflight add, closes
 // the race with Quiesce: the drain observes inflight==0 only after our
-// Add, and mask.Swap(0) happened before the drain began, so any logger
+// add, and mask.Swap(0) happened before the drain began, so any logger
 // that slipped past the entry check while tracing was being disabled is
 // guaranteed to see the zero mask here and back out. Dropping this
 // re-check would let such a logger write into buffers the dumper believes
@@ -242,15 +246,15 @@ func (ctl *TrcCtl) commit(idx uint64, words uint64) {
 // that is statically dead for the fixed-arity Log0..Log4, whose lengths
 // of 1..5 words always fit the BufWords >= 16 / MaxWords = 1023 floors —
 // now lives only in the variable-length entry points.)
-func (ctl *TrcCtl) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
-	ctl.inflight.Add(1)
-	if ctl.t.mask.Load()&bit == 0 {
-		ctl.inflight.Add(-1)
+func (a *Arena) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool) {
+	atomic.AddUint64(a.inflight, 1)
+	if a.mask.Load()&bit == 0 {
+		atomic.AddUint64(a.inflight, ^uint64(0))
 		return 0, 0, false
 	}
-	idx, ts, ok = ctl.reserve(bit, length)
+	idx, ts, ok = a.reserve(bit, length)
 	if !ok {
-		ctl.inflight.Add(-1)
+		atomic.AddUint64(a.inflight, ^uint64(0))
 	}
 	return idx, ts, ok
 }
@@ -259,149 +263,141 @@ func (ctl *TrcCtl) begin(bit uint64, length int) (idx uint64, ts uint64, ok bool
 // included) can ever be logged: it must leave room for the buffer's
 // leading clock anchor and be encodable in the header's length field.
 // Callers with a constant length <= 5 (Log0..Log4) need not ask.
-func (ctl *TrcCtl) fits(length int) bool {
-	if uint64(length) > ctl.t.bufWords-anchorWords || length > event.MaxWords {
-		ctl.stats.tooLarge.Add(1)
+func (a *Arena) fits(length int) bool {
+	if uint64(length) > a.bufWords-anchorWords || length > event.MaxWords {
+		a.statAdd(ctlStatTooLarge, 1)
 		return false
 	}
 	return true
 }
 
 // end is the epilogue: the logger is no longer in flight.
-func (ctl *TrcCtl) end() { ctl.inflight.Add(-1) }
+func (a *Arena) end() { atomic.AddUint64(a.inflight, ^uint64(0)) }
+
+// Enabled reports whether events of the major class are currently logged.
+func (a *Arena) Enabled(m event.Major) bool { return a.mask.Load()&m.Bit() != 0 }
 
 // --- Logging entry points ---------------------------------------------------
 //
 // Log0..Log4 are the analogue of K42's per-major-ID macros: "events with a
 // constant number of data words [are] logged efficiently, without the use
-// of variable argument functions." Log is the generic variadic function
-// used for non-constant-length data.
+// of variable argument functions." LogWords is the generic function used
+// for non-constant-length data.
 
 // Log0 logs an event with no payload. It reports whether the event was
 // logged (false: tracing disabled for the major, event dropped, or too
 // large).
-func (c CPU) Log0(major event.Major, minor uint16) bool {
-	ctl := c.ctl
+func (a *Arena) Log0(major event.Major, minor uint16) bool {
 	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if a.mask.Load()&bit == 0 {
 		return false
 	}
-	idx, ts, ok := ctl.begin(bit, 1)
+	idx, ts, ok := a.begin(bit, 1)
 	if !ok {
 		return false
 	}
-	ctl.buf[idx&ctl.t.indexMask] = uint64(event.MakeHeader(uint32(ts), 1, major, minor))
-	ctl.commit(idx, 1)
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(1)
-	ctl.end()
+	a.buf[idx&a.indexMask] = uint64(event.MakeHeader(uint32(ts), 1, major, minor))
+	a.commit(idx, 1)
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, 1)
+	a.end()
 	return true
 }
 
 // Log1 logs an event with one 64-bit payload word.
-func (c CPU) Log1(major event.Major, minor uint16, d0 uint64) bool {
-	ctl := c.ctl
+func (a *Arena) Log1(major event.Major, minor uint16, d0 uint64) bool {
 	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if a.mask.Load()&bit == 0 {
 		return false
 	}
-	idx, ts, ok := ctl.begin(bit, 2)
+	idx, ts, ok := a.begin(bit, 2)
 	if !ok {
 		return false
 	}
-	p := idx & ctl.t.indexMask
-	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 2, major, minor))
-	ctl.buf[p+1] = d0
-	ctl.commit(idx, 2)
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(2)
-	ctl.end()
+	p := idx & a.indexMask
+	a.buf[p] = uint64(event.MakeHeader(uint32(ts), 2, major, minor))
+	a.buf[p+1] = d0
+	a.commit(idx, 2)
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, 2)
+	a.end()
 	return true
 }
 
 // Log2 logs an event with two 64-bit payload words.
-func (c CPU) Log2(major event.Major, minor uint16, d0, d1 uint64) bool {
-	ctl := c.ctl
+func (a *Arena) Log2(major event.Major, minor uint16, d0, d1 uint64) bool {
 	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if a.mask.Load()&bit == 0 {
 		return false
 	}
-	idx, ts, ok := ctl.begin(bit, 3)
+	idx, ts, ok := a.begin(bit, 3)
 	if !ok {
 		return false
 	}
-	p := idx & ctl.t.indexMask
-	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 3, major, minor))
-	ctl.buf[p+1] = d0
-	ctl.buf[p+2] = d1
-	ctl.commit(idx, 3)
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(3)
-	ctl.end()
+	p := idx & a.indexMask
+	a.buf[p] = uint64(event.MakeHeader(uint32(ts), 3, major, minor))
+	a.buf[p+1] = d0
+	a.buf[p+2] = d1
+	a.commit(idx, 3)
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, 3)
+	a.end()
 	return true
 }
 
 // Log3 logs an event with three 64-bit payload words.
-func (c CPU) Log3(major event.Major, minor uint16, d0, d1, d2 uint64) bool {
-	ctl := c.ctl
+func (a *Arena) Log3(major event.Major, minor uint16, d0, d1, d2 uint64) bool {
 	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if a.mask.Load()&bit == 0 {
 		return false
 	}
-	idx, ts, ok := ctl.begin(bit, 4)
+	idx, ts, ok := a.begin(bit, 4)
 	if !ok {
 		return false
 	}
-	p := idx & ctl.t.indexMask
-	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 4, major, minor))
-	ctl.buf[p+1] = d0
-	ctl.buf[p+2] = d1
-	ctl.buf[p+3] = d2
-	ctl.commit(idx, 4)
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(4)
-	ctl.end()
+	p := idx & a.indexMask
+	a.buf[p] = uint64(event.MakeHeader(uint32(ts), 4, major, minor))
+	a.buf[p+1] = d0
+	a.buf[p+2] = d1
+	a.buf[p+3] = d2
+	a.commit(idx, 4)
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, 4)
+	a.end()
 	return true
 }
 
 // Log4 logs an event with four 64-bit payload words.
-func (c CPU) Log4(major event.Major, minor uint16, d0, d1, d2, d3 uint64) bool {
-	ctl := c.ctl
+func (a *Arena) Log4(major event.Major, minor uint16, d0, d1, d2, d3 uint64) bool {
 	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
+	if a.mask.Load()&bit == 0 {
 		return false
 	}
-	idx, ts, ok := ctl.begin(bit, 5)
+	idx, ts, ok := a.begin(bit, 5)
 	if !ok {
 		return false
 	}
-	p := idx & ctl.t.indexMask
-	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), 5, major, minor))
-	ctl.buf[p+1] = d0
-	ctl.buf[p+2] = d1
-	ctl.buf[p+3] = d2
-	ctl.buf[p+4] = d3
-	ctl.commit(idx, 5)
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(5)
-	ctl.end()
+	p := idx & a.indexMask
+	a.buf[p] = uint64(event.MakeHeader(uint32(ts), 5, major, minor))
+	a.buf[p+1] = d0
+	a.buf[p+2] = d1
+	a.buf[p+3] = d2
+	a.buf[p+4] = d3
+	a.commit(idx, 5)
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, 5)
+	a.end()
 	return true
-}
-
-// Log logs an event with an arbitrary payload — the generic function per
-// major ID of the paper. The payload is copied into the trace buffer.
-func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
-	return c.LogWords(major, minor, data)
 }
 
 // LogWords logs an event whose payload is the given word slice. Use
 // event.Pack to build payloads containing packed sub-word fields or
 // strings.
-func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
-	if c.ctl.t.mask.Load()&major.Bit() == 0 {
+func (a *Arena) LogWords(major event.Major, minor uint16, data []uint64) bool {
+	if a.mask.Load()&major.Bit() == 0 {
 		return false
 	}
-	return c.logWords(major, minor, data)
+	return a.logWords(major, minor, data)
 }
 
 // logWords is LogWords without the cheap entry mask check, for callers
@@ -409,24 +405,105 @@ func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
 // begin's post-inflight re-load still runs, so the Quiesce race stays
 // closed; skipping the entry check only avoids a third, genuinely
 // redundant load of the same word.
-func (c CPU) logWords(major event.Major, minor uint16, data []uint64) bool {
-	ctl := c.ctl
+func (a *Arena) logWords(major event.Major, minor uint16, data []uint64) bool {
 	length := 1 + len(data)
-	if !ctl.fits(length) {
+	if !a.fits(length) {
 		return false
 	}
-	idx, ts, ok := ctl.begin(major.Bit(), length)
+	idx, ts, ok := a.begin(major.Bit(), length)
 	if !ok {
 		return false
 	}
-	p := idx & ctl.t.indexMask
-	ctl.buf[p] = uint64(event.MakeHeader(uint32(ts), length, major, minor))
-	copy(ctl.buf[p+1:p+uint64(length)], data)
-	ctl.commit(idx, uint64(length))
-	ctl.stats.events.Add(1)
-	ctl.stats.words.Add(uint64(length))
-	ctl.end()
+	p := idx & a.indexMask
+	a.buf[p] = uint64(event.MakeHeader(uint32(ts), length, major, minor))
+	copy(a.buf[p+1:p+uint64(length)], data)
+	a.commit(idx, uint64(length))
+	a.statAdd(ctlStatEvents, 1)
+	a.statAdd(ctlStatWords, uint64(length))
+	a.end()
 	return true
+}
+
+// ReserveOnly reserves space for an event but never writes or commits it.
+// It exists solely to inject the paper's failure mode — "a process's
+// execution may be interrupted after it has reserved space to log an
+// event, but before it actually performs the log" (killed mid-log) — so
+// tests can verify that commit-count anomaly detection catches it.
+func (a *Arena) ReserveOnly(major event.Major, minor uint16, payloadWords int) bool {
+	bit := major.Bit()
+	if a.mask.Load()&bit == 0 {
+		return false
+	}
+	if !a.fits(1 + payloadWords) {
+		return false
+	}
+	_, _, ok := a.begin(bit, 1+payloadWords)
+	if ok {
+		a.end()
+	}
+	return ok
+}
+
+// ReserveHang reserves space for an event and returns while still "in
+// flight": the space is never written or committed and the in-flight
+// count stays raised — exactly the state a process SIGKILLed between
+// reserve and commit leaves behind in a shared mapping. It exists for the
+// cross-process fault injector, whose child calls it and is then killed;
+// the daemon's pid-liveness reap writes the dead contribution off. It
+// returns the total words reserved (header + payload, plus nothing for
+// any filler/anchor the reservation's transition committed on its own).
+func (a *Arena) ReserveHang(major event.Major, minor uint16, payloadWords int) (int, bool) {
+	bit := major.Bit()
+	if a.mask.Load()&bit == 0 {
+		return 0, false
+	}
+	length := 1 + payloadWords
+	if !a.fits(length) {
+		return 0, false
+	}
+	_, _, ok := a.begin(bit, length)
+	if !ok {
+		return 0, false
+	}
+	return length, true
+}
+
+// --- CPU-handle entry points -------------------------------------------------
+
+// Log0 logs an event with no payload. It reports whether the event was
+// logged (false: tracing disabled for the major, event dropped, or too
+// large).
+func (c CPU) Log0(major event.Major, minor uint16) bool { return c.ctl.a.Log0(major, minor) }
+
+// Log1 logs an event with one 64-bit payload word.
+func (c CPU) Log1(major event.Major, minor uint16, d0 uint64) bool {
+	return c.ctl.a.Log1(major, minor, d0)
+}
+
+// Log2 logs an event with two 64-bit payload words.
+func (c CPU) Log2(major event.Major, minor uint16, d0, d1 uint64) bool {
+	return c.ctl.a.Log2(major, minor, d0, d1)
+}
+
+// Log3 logs an event with three 64-bit payload words.
+func (c CPU) Log3(major event.Major, minor uint16, d0, d1, d2 uint64) bool {
+	return c.ctl.a.Log3(major, minor, d0, d1, d2)
+}
+
+// Log4 logs an event with four 64-bit payload words.
+func (c CPU) Log4(major event.Major, minor uint16, d0, d1, d2, d3 uint64) bool {
+	return c.ctl.a.Log4(major, minor, d0, d1, d2, d3)
+}
+
+// Log logs an event with an arbitrary payload — the generic function per
+// major ID of the paper. The payload is copied into the trace buffer.
+func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
+	return c.ctl.a.LogWords(major, minor, data)
+}
+
+// LogWords logs an event whose payload is the given word slice.
+func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
+	return c.ctl.a.LogWords(major, minor, data)
 }
 
 // LogDesc packs values per the event description's token list and logs
@@ -440,26 +517,11 @@ func (c CPU) LogDesc(d *event.Desc, vals ...event.Value) bool {
 	if err != nil {
 		return false
 	}
-	return c.logWords(d.Major, d.Minor, words)
+	return c.ctl.a.logWords(d.Major, d.Minor, words)
 }
 
-// ReserveOnly reserves space for an event but never writes or commits it.
-// It exists solely to inject the paper's failure mode — "a process's
-// execution may be interrupted after it has reserved space to log an
-// event, but before it actually performs the log" (killed mid-log) — so
-// tests can verify that commit-count anomaly detection catches it.
+// ReserveOnly reserves space for an event but never writes or commits it;
+// see Arena.ReserveOnly.
 func (c CPU) ReserveOnly(major event.Major, minor uint16, payloadWords int) bool {
-	ctl := c.ctl
-	bit := major.Bit()
-	if ctl.t.mask.Load()&bit == 0 {
-		return false
-	}
-	if !ctl.fits(1 + payloadWords) {
-		return false
-	}
-	_, _, ok := ctl.begin(bit, 1+payloadWords)
-	if ok {
-		ctl.end()
-	}
-	return ok
+	return c.ctl.a.ReserveOnly(major, minor, payloadWords)
 }

@@ -38,19 +38,7 @@ func (t *Tracer) Sealed() <-chan Sealed { return t.sealed }
 // done with Words. Releasing a Partial buffer is a no-op (partials are
 // only produced at flush time, when the slot is not recycled).
 func (t *Tracer) Release(s Sealed) {
-	if s.Partial {
-		return
-	}
-	sl := &t.cpus[s.CPU].slots[(s.Start/t.bufWords)&(t.numBufs-1)]
-	if t.cfg.ZeroFill {
-		// The slot is quiescent between seal and release, so this is the
-		// one race-free moment to apply §3.1's zero-fill mitigation.
-		for i := range s.Words {
-			s.Words[i] = 0
-		}
-	}
-	sl.committed.Store(0)
-	sl.state.Store(slotFree)
+	t.cpus[s.CPU].a.ReleaseSlot(s, t.cfg.ZeroFill)
 }
 
 // drain spins until no logger is in flight on any CPU. Callers must have
@@ -58,7 +46,7 @@ func (t *Tracer) Release(s Sealed) {
 // guarantees no new writer can start, so drain terminates.
 func (t *Tracer) drain() {
 	for _, ctl := range t.cpus {
-		ctl.waitQuiescent()
+		ctl.a.WaitQuiescent()
 	}
 }
 
@@ -81,39 +69,7 @@ func (t *Tracer) Flush() {
 		return
 	}
 	for _, ctl := range t.cpus {
-		idx := ctl.index.Load()
-		if idx == 0 {
-			continue // this CPU never logged
-		}
-		off := idx & (t.bufWords - 1)
-		curStart := idx - off
-		for si := range ctl.slots {
-			sl := &ctl.slots[si]
-			if sl.state.Load() != slotInUse {
-				continue
-			}
-			start := sl.start.Load()
-			n := t.bufWords
-			partial := false
-			if start == curStart {
-				if off == 0 {
-					continue // boundary-exact: sealed by its last commit
-				}
-				n = off
-				partial = true
-			}
-			lo := start & t.indexMask
-			sl.state.Store(slotPending)
-			t.sealed <- Sealed{
-				CPU:       ctl.cpu,
-				Seq:       start / t.bufWords,
-				Start:     start,
-				Words:     ctl.buf[lo : lo+n],
-				Committed: sl.committed.Load(),
-				Partial:   partial,
-			}
-			ctl.stats.seals.Add(1)
-		}
+		ctl.a.FlushSlots(func(s Sealed) { t.sealed <- s })
 	}
 }
 

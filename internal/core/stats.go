@@ -1,26 +1,10 @@
 package core
 
-import "sync/atomic"
-
-// CPUStats are the per-CPU counters maintained by the logging paths. They
-// live inside the padded TrcCtl so updates never contend across CPUs.
-type CPUStats struct {
-	events       atomic.Uint64
-	words        atomic.Uint64
-	retries      atomic.Uint64
-	fillerEvents atomic.Uint64
-	fillerWords  atomic.Uint64
-	exactFit     atomic.Uint64
-	dropped      atomic.Uint64
-	tooLarge     atomic.Uint64
-	seals        atomic.Uint64
-	blockWaits   atomic.Uint64
-	anchors      atomic.Uint64
-	stuckSeals   atomic.Uint64
-}
-
 // Stats is a snapshot of tracing counters, either for one CPU or summed
-// across all CPUs.
+// across all CPUs. The counters themselves live in each arena's control
+// words (updated with atomic adds on the logging paths), so per-CPU
+// updates never contend across CPUs — and, for shared-memory arenas, so
+// every attached process and the daemon see the same numbers.
 type Stats struct {
 	// Events and Words count successfully logged events and their total
 	// size (headers included), excluding fillers and anchors.
@@ -42,33 +26,17 @@ type Stats struct {
 	Dropped  uint64
 	TooLarge uint64
 	// Seals counts buffers handed to the Stream consumer; Anchors counts
-	// buffer-start clock anchors; BlockWaits counts scheduler yields spent
-	// waiting for the consumer under the Block policy.
+	// buffer-start clock anchors; BlockWaits counts waits spent on an
+	// unreleased slot under the Block policy.
 	Seals      uint64
 	Anchors    uint64
 	BlockWaits uint64
 	// StuckSeals counts buffers sealed by stuck-slot reclamation: a
 	// writer killed between reserve and commit left the buffer's count
-	// short forever, and a later writer needing the slot sealed it
-	// anomalous instead of waiting for a commit that cannot come.
+	// short forever, and a later writer needing the slot (or the daemon's
+	// liveness scan) sealed it anomalous instead of waiting for a commit
+	// that cannot come.
 	StuckSeals uint64
-}
-
-func (s *CPUStats) snapshot() Stats {
-	return Stats{
-		Events:       s.events.Load(),
-		Words:        s.words.Load(),
-		Retries:      s.retries.Load(),
-		FillerEvents: s.fillerEvents.Load(),
-		FillerWords:  s.fillerWords.Load(),
-		ExactFit:     s.exactFit.Load(),
-		Dropped:      s.dropped.Load(),
-		TooLarge:     s.tooLarge.Load(),
-		Seals:        s.seals.Load(),
-		Anchors:      s.anchors.Load(),
-		BlockWaits:   s.blockWaits.Load(),
-		StuckSeals:   s.stuckSeals.Load(),
-	}
 }
 
 func (a Stats) add(b Stats) Stats {
@@ -87,14 +55,17 @@ func (a Stats) add(b Stats) Stats {
 	return a
 }
 
+// Add returns the elementwise sum of two snapshots.
+func (a Stats) Add(b Stats) Stats { return a.add(b) }
+
 // CPUStats returns a snapshot of one CPU's counters.
-func (t *Tracer) CPUStats(cpu int) Stats { return t.cpus[cpu].stats.snapshot() }
+func (t *Tracer) CPUStats(cpu int) Stats { return t.cpus[cpu].a.Stats() }
 
 // Stats returns counters summed across all CPUs.
 func (t *Tracer) Stats() Stats {
 	var sum Stats
 	for _, c := range t.cpus {
-		sum = sum.add(c.stats.snapshot())
+		sum = sum.add(c.a.Stats())
 	}
 	return sum
 }

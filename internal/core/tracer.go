@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"k42trace/internal/clock"
 	"k42trace/internal/event"
@@ -14,50 +13,15 @@ import (
 // buffer: header + one payload word carrying the full 64-bit timestamp.
 const anchorWords = 2
 
-// slot states; see slot.state.
-const (
-	slotFree    uint32 = iota // available for writers
-	slotInUse                 // current generation being filled
-	slotPending               // sealed, awaiting consumer Release
-)
-
-// slot is the per-buffer bookkeeping: the commit count that detects
-// garbled buffers, and the recycle state used in Stream mode.
-type slot struct {
-	// committed counts 64-bit words actually written into the current
-	// generation of this buffer (event payloads, headers, fillers, the
-	// anchor). When it reaches BufWords the buffer is complete and is
-	// sealed. A shortfall at flush time means a writer reserved space but
-	// never logged — the anomaly the paper's per-buffer counts detect.
-	committed atomic.Uint64
-	// state is the recycle state (slotFree/slotInUse/slotPending).
-	state atomic.Uint32
-	// start is the free-running word index of this generation's first word,
-	// recorded by the transition winner; used by seals and flushes.
-	start atomic.Uint64
-}
-
-// TrcCtl is the per-processor trace control structure. All hot state for
-// logging on one CPU lives here, padded so that different CPUs' control
-// structures never share a cache line (the paper's "memory bound to a
-// specific processor").
+// TrcCtl is the per-processor trace control structure: an Arena over this
+// CPU's control words and buffer ring, plus the back-pointer to the owning
+// tracer. The control words and buffers are separate allocations per CPU,
+// so different CPUs' hot state never shares a cache line (the paper's
+// "memory bound to a specific processor").
 type TrcCtl struct {
-	// index is the free-running reservation index in words. The low bits
-	// (index & indexMask) locate the position in buf.
-	index atomic.Uint64
-	// inflight counts loggers currently between reservation and commit on
-	// this CPU; the flight-recorder dump drains it to get a quiescent,
-	// race-free view of the buffers.
-	inflight atomic.Int64
-	_        [48]byte // pad index+inflight away from the rest
-
-	buf   []uint64 // NumBufs*BufWords trace words
-	slots []slot
-	cpu   int
-	t     *Tracer
-
-	stats CPUStats
-	_     [64]byte // pad tail: adjacent TrcCtls never share a line
+	a   *Arena
+	t   *Tracer
+	cpu int
 }
 
 // Tracer is a unified tracing facility: a 64-bit mask gating 64 major
@@ -97,18 +61,33 @@ func New(cfg Config) (*Tracer, error) {
 		numBufs:   uint64(cfg.NumBufs),
 		indexMask: uint64(cfg.BufWords*cfg.NumBufs) - 1,
 	}
-	t.cpus = make([]*TrcCtl, cfg.CPUs)
-	for i := range t.cpus {
-		t.cpus[i] = &TrcCtl{
-			buf:   make([]uint64, cfg.BufWords*cfg.NumBufs),
-			slots: make([]slot, cfg.NumBufs),
-			cpu:   i,
-			t:     t,
-		}
-	}
 	// Seal channel sized so a sealing writer never blocks: at most NumBufs
 	// outstanding seals per CPU plus one flush partial per CPU.
 	t.sealed = make(chan Sealed, (cfg.NumBufs+1)*cfg.CPUs)
+	var onFull func() bool
+	if cfg.Mode == Stream && cfg.OnFull == Block {
+		onFull = func() bool { runtime.Gosched(); return true }
+	}
+	t.cpus = make([]*TrcCtl, cfg.CPUs)
+	for i := range t.cpus {
+		a, err := NewArena(ArenaConfig{
+			Ctl:                  make([]uint64, CtlWords(cfg.NumBufs)),
+			Buf:                  make([]uint64, cfg.BufWords*cfg.NumBufs),
+			Mask:                 &t.mask,
+			Clock:                cfg.Clock,
+			CPU:                  i,
+			BufWords:             cfg.BufWords,
+			NumBufs:              cfg.NumBufs,
+			Stream:               cfg.Mode == Stream,
+			UnsafeStaleTimestamp: cfg.UnsafeStaleTimestamp,
+			OnSeal:               func(s Sealed) { t.sealed <- s },
+			OnFull:               onFull,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.cpus[i] = &TrcCtl{a: a, t: t, cpu: i}
+	}
 	return t, nil
 }
 
@@ -132,6 +111,10 @@ func (t *Tracer) NumCPUs() int { return len(t.cpus) }
 
 // BufWords returns the buffer (alignment boundary) size in words.
 func (t *Tracer) BufWords() int { return int(t.bufWords) }
+
+// Arena returns the per-CPU arena underlying processor slot i, for
+// consumers that need direct word-level access (crash dumps, inspection).
+func (t *Tracer) Arena(i int) *Arena { return t.cpus[i].a }
 
 // --- Trace mask -----------------------------------------------------------
 //
@@ -221,29 +204,14 @@ func (t *Tracer) ApplyMask(newMask uint64) (old uint64) {
 	}
 	t.maskApplies.Add(1)
 	for i := range t.cpus {
-		t.cpus[i].waitQuiescent()
+		// The wait is a sampling race: inflight is only zero in the gaps
+		// between logging calls (the new mask still enables them); the
+		// arena's quiescence wait backs off to real sleeps so it cannot
+		// starve on GOMAXPROCS=1.
+		t.cpus[i].a.WaitQuiescent()
 		t.CPU(i).Log2(event.MajorControl, event.CtrlMaskChange, newMask, old)
 	}
 	return old
-}
-
-// waitQuiescent waits for this CPU's in-flight loggers to reach zero.
-// Unlike Quiesce's drain, ApplyMask waits while loggers keep starting (the
-// new mask still enables them), so the wait is a sampling race: inflight
-// is only zero in the gaps between logging calls. Pure Gosched spinning
-// loses that race on GOMAXPROCS=1 — the yielded goroutine lands on the
-// global run queue, which the scheduler visits rarely while hot loggers
-// fill the local one — so after a brief spin the wait backs off to real
-// sleeps, which reschedule promptly and sample at uniformly random points
-// of the loggers' cycles.
-func (ctl *TrcCtl) waitQuiescent() {
-	for spins := 0; ctl.inflight.Load() != 0; spins++ {
-		if spins < 64 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(time.Microsecond)
-		}
-	}
 }
 
 // MaskApplies returns the number of ApplyMask calls that changed the mask.

@@ -14,14 +14,13 @@ import (
 	"net"
 	"sync"
 
-	"k42trace/internal/core"
 	"k42trace/internal/stream"
 )
 
 // Send streams a tracer's sealed buffers to addr until the tracer is
 // stopped. It is the producer side: dial, then stream.Capture onto the
 // connection.
-func Send(tr *core.Tracer, addr string) (stream.CaptureStats, error) {
+func Send(tr stream.Source, addr string) (stream.CaptureStats, error) {
 	return SendThrough(tr, addr, nil)
 }
 
@@ -31,7 +30,7 @@ func Send(tr *core.Tracer, addr string) (stream.CaptureStats, error) {
 // into the relay path without the tracer or the collector knowing. A nil
 // wrap sends directly. If the wrapped writer has a Flush method it is
 // called after the capture finishes, before the connection closes.
-func SendThrough(tr *core.Tracer, addr string, wrap func(io.Writer) io.Writer) (stream.CaptureStats, error) {
+func SendThrough(tr stream.Source, addr string, wrap func(io.Writer) io.Writer) (stream.CaptureStats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return stream.CaptureStats{}, fmt.Errorf("relay: dial %s: %w", addr, err)

@@ -72,11 +72,13 @@ type ReliableStats struct {
 	ControlFrames uint64 // control frames received (OnControl deliveries)
 }
 
-// SendReliable streams a tracer's sealed buffers to addr until the tracer
+// SendReliable streams a source's sealed buffers to addr until the source
 // is stopped, reconnecting with exponential backoff whenever the
 // connection dies. Run it from its own goroutine, like Send; it returns
-// after the tracer's Sealed channel closes (or after giving up).
-func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableStats, error) {
+// after the source's Sealed channel closes (or after giving up). The
+// source is usually the in-process core.Tracer, but the shm daemon's
+// Agent relays cross-process segments through the same path.
+func SendReliable(tr stream.Source, addr string, opt ReliableOptions) (ReliableStats, error) {
 	opt.defaults()
 	meta := stream.Meta{
 		BufWords: tr.BufWords(),
@@ -176,7 +178,7 @@ func SendReliable(tr *core.Tracer, addr string, opt ReliableOptions) (ReliableSt
 // eventual Stop) never wedges on a full buffer ring. The drain runs until
 // the channel closes; SendReliable's contract is to run in its own
 // goroutine, so blocking here until tracer Stop is fine.
-func giveUp(tr *core.Tracer, st ReliableStats, cur core.Sealed, err error) (ReliableStats, error) {
+func giveUp(tr stream.Source, st ReliableStats, cur core.Sealed, err error) (ReliableStats, error) {
 	tr.Release(cur)
 	st.Dropped++
 	for s := range tr.Sealed() {

@@ -1,0 +1,220 @@
+package shm
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"k42trace/internal/clock"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+)
+
+// A Client is one process's attachment to a trace segment: the mapping,
+// the client-table slot it claimed, and a core.Arena per CPU slot running
+// the reserve/commit protocol directly on the shared words. After Attach,
+// logging is plain stores into the mapping — no system call, no
+// daemon round trip — which is the entire point of user-mapped buffers.
+type Client struct {
+	seg    *segment
+	slot   int
+	arenas []*core.Arena
+}
+
+// Attach maps the segment at path and claims a client-table slot. It
+// fails if no daemon has published the segment (state is not ready) or
+// the client table is full.
+func Attach(path string) (*Client, error) {
+	s, err := openSegment(path, false)
+	if err != nil {
+		return nil, err
+	}
+	if st := s.state(); st != segReady {
+		s.close()
+		return nil, fmt.Errorf("shm: segment %s not accepting clients (state %s)", path, stateName(st))
+	}
+	lay := s.lay
+	pid := uint64(os.Getpid())
+	slot := -1
+	for i := 0; i < lay.geo.MaxClients; i++ {
+		if wordAtomic(s.words, lay.clientWord(i, clientPid)).CompareAndSwap(0, pid) {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		s.close()
+		return nil, fmt.Errorf("shm: segment %s: client table full (%d slots)", path, lay.geo.MaxClients)
+	}
+	now := uint64(time.Now().UnixNano())
+	wordAtomic(s.words, lay.clientWord(slot, clientRegNano)).Store(now)
+	wordAtomic(s.words, lay.clientWord(slot, clientLease)).Store(now)
+	// The daemon zeroes a reaped slot's in-flight row before freeing it,
+	// but a new tenancy must never inherit a dirty row either way.
+	for cpu := 0; cpu < lay.geo.CPUs; cpu++ {
+		atomic.StoreUint64(&s.words[lay.inflightCell(slot, cpu)], 0)
+	}
+	c := &Client{seg: s, slot: slot, arenas: make([]*core.Arena, lay.geo.CPUs)}
+	clk := segClock(s)
+	for cpu := range c.arenas {
+		a, err := buildArena(s, cpu, &s.words[lay.inflightCell(slot, cpu)], clientOnFull(s), clk)
+		if err != nil {
+			c.free()
+			return nil, err
+		}
+		c.arenas[cpu] = a
+	}
+	return c, nil
+}
+
+// buildArena constructs the Arena view of one CPU slot of a mapped
+// segment. inflight selects the in-flight word this context bumps (a
+// client's private matrix cell; nil for the daemon, which never logs);
+// InflightTotal always sums the whole matrix column, so every context
+// agrees on quiescence no matter which cell each producer uses.
+func buildArena(s *segment, cpu int, inflight *uint64, onFull func() bool, clk clock.Source) (*core.Arena, error) {
+	lay := s.lay
+	ctlLo, ctlHi := lay.ctlRegion(cpu)
+	bufLo, bufHi := lay.bufRegion(cpu)
+	return core.NewArena(core.ArenaConfig{
+		Ctl:      s.words[ctlLo:ctlHi],
+		Buf:      s.words[bufLo:bufHi],
+		Mask:     wordAtomic(s.words, hdrMask),
+		Clock:    clk,
+		CPU:      cpu,
+		BufWords: lay.geo.BufWords,
+		NumBufs:  lay.geo.NumBufs,
+		Stream:   true,
+		Inflight: inflight,
+		InflightTotal: func() uint64 {
+			var n uint64
+			for cl := 0; cl < lay.geo.MaxClients; cl++ {
+				n += atomic.LoadUint64(&s.words[lay.inflightCell(cl, cpu)])
+			}
+			return n
+		},
+		OnFull: onFull,
+	})
+}
+
+// clientOnFull is the client-side Block policy: the ring is full, so back
+// off until the daemon releases a buffer — it scans every couple of
+// milliseconds, so a short sleep beats spinning — unless the daemon is
+// shutting down, in which case block-forever would deadlock and the event
+// is dropped instead.
+func clientOnFull(s *segment) func() bool {
+	return func() bool {
+		if s.state() == segClosing {
+			return false
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Microsecond)
+		return true
+	}
+}
+
+func stateName(st uint64) string {
+	switch st {
+	case segCreating:
+		return "creating"
+	case segReady:
+		return "ready"
+	case segClosing:
+		return "closing"
+	}
+	return fmt.Sprintf("?%d", st)
+}
+
+// NumCPUs returns the segment's processor-slot count.
+func (c *Client) NumCPUs() int { return len(c.arenas) }
+
+// Slot returns the client-table slot this attachment claimed.
+func (c *Client) Slot() int { return c.slot }
+
+// Mask returns the segment's current trace mask.
+func (c *Client) Mask() uint64 { return wordAtomic(c.seg.words, hdrMask).Load() }
+
+// CPU returns the logging handle for one processor slot. Handles are
+// cheap values; goroutines sharing one are safe but contend on its CAS.
+func (c *Client) CPU(i int) CPU { return CPU{a: c.arenas[i]} }
+
+// Detach waits for this process's in-flight logging calls to finish,
+// releases the client-table slot, and unmaps the segment. The segment
+// itself lives on: detaching is leaving the room, not turning off the
+// lights.
+func (c *Client) Detach() error {
+	lay := c.seg.lay
+	for cpu := 0; cpu < lay.geo.CPUs; cpu++ {
+		cell := &c.seg.words[lay.inflightCell(c.slot, cpu)]
+		for spins := 0; atomic.LoadUint64(cell) != 0; spins++ {
+			if spins < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}
+	return c.free()
+}
+
+func (c *Client) free() error {
+	wordAtomic(c.seg.words, c.seg.lay.clientWord(c.slot, clientPid)).Store(0)
+	return c.seg.close()
+}
+
+// CPU is a per-processor-slot logging handle over a shared segment, the
+// cross-process analogue of core.CPU: same Log0..Log4 fast paths, same
+// protocol, different memory.
+type CPU struct {
+	a *core.Arena
+}
+
+// Enabled reports whether events of the major class are currently logged.
+func (c CPU) Enabled(m event.Major) bool { return c.a.Enabled(m) }
+
+// Log0 logs an event with no payload.
+func (c CPU) Log0(major event.Major, minor uint16) bool { return c.a.Log0(major, minor) }
+
+// Log1 logs an event with one 64-bit payload word.
+func (c CPU) Log1(major event.Major, minor uint16, d0 uint64) bool {
+	return c.a.Log1(major, minor, d0)
+}
+
+// Log2 logs an event with two 64-bit payload words.
+func (c CPU) Log2(major event.Major, minor uint16, d0, d1 uint64) bool {
+	return c.a.Log2(major, minor, d0, d1)
+}
+
+// Log3 logs an event with three 64-bit payload words.
+func (c CPU) Log3(major event.Major, minor uint16, d0, d1, d2 uint64) bool {
+	return c.a.Log3(major, minor, d0, d1, d2)
+}
+
+// Log4 logs an event with four 64-bit payload words.
+func (c CPU) Log4(major event.Major, minor uint16, d0, d1, d2, d3 uint64) bool {
+	return c.a.Log4(major, minor, d0, d1, d2, d3)
+}
+
+// Log logs an event with an arbitrary payload, copied into the shared
+// buffer.
+func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
+	return c.a.LogWords(major, minor, data)
+}
+
+// LogWords logs an event whose payload is the given word slice.
+func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
+	return c.a.LogWords(major, minor, data)
+}
+
+// ReserveHang reserves event space and returns with the reservation
+// uncommitted and the in-flight count raised — fault injection for the
+// killed-mid-log scenario; see core.Arena.ReserveHang.
+func (c CPU) ReserveHang(major event.Major, minor uint16, payloadWords int) (int, bool) {
+	return c.a.ReserveHang(major, minor, payloadWords)
+}
+
+// Stats returns the CPU slot's counters (shared across every process
+// logging to the slot).
+func (c CPU) Stats() core.Stats { return c.a.Stats() }

@@ -1,0 +1,50 @@
+package shm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"k42trace/internal/clock"
+)
+
+// wallClock timestamps with wall-clock nanoseconds since the segment's
+// base instant. Unlike clock.Sync, whose base is the creating process's
+// start, the base lives in the segment header, so every attached process
+// produces directly comparable stamps — the analogue of the paper's
+// synchronized timebase readable from user level. The per-CPU
+// monotonicity the reserve loop needs holds as long as the system clock
+// is not stepped backwards mid-trace (slewing is fine); a shared
+// CLOCK_MONOTONIC source is a recorded follow-up.
+type wallClock struct {
+	baseUnixNano int64
+}
+
+func (c wallClock) Now(cpu int) uint64 {
+	return uint64(time.Now().UnixNano() - c.baseUnixNano)
+}
+
+func (c wallClock) Hz() uint64 { return 1e9 }
+
+// counterClock is the deterministic segment clock: per-CPU tick counters
+// living in the mapping, advanced by fetch-add from whichever process
+// reserves. Identical per-CPU logging sequences then yield identical
+// timestamps no matter how the processes interleave in real time — the
+// basis of the cross-process analysis-parity test. (clock.Manual cannot
+// serve here: it is a single in-process counter.)
+type counterClock struct {
+	words []uint64
+	lay   layout
+}
+
+func (c counterClock) Now(cpu int) uint64 {
+	return atomic.AddUint64(&c.words[c.lay.clockWord(cpu)], 1)
+}
+
+func (c counterClock) Hz() uint64 { return 1e9 }
+
+func segClock(s *segment) clock.Source {
+	if s.lay.geo.DeterministicClock {
+		return counterClock{words: s.words, lay: s.lay}
+	}
+	return wallClock{baseUnixNano: int64(s.words[hdrBaseUnixNano])}
+}

@@ -1,0 +1,155 @@
+package shm
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"k42trace/internal/core"
+)
+
+// Info is a point-in-time snapshot of a live segment, taken through a
+// read-only mapping: "this event log may be examined while the system is
+// running" — producers and the daemon keep going while we look.
+type Info struct {
+	Path     string
+	Geometry Geometry
+	State    string
+	Mask     uint64
+	// BaseUnixNano is the wall-clock instant of segment tick 0.
+	BaseUnixNano int64
+	CreateNano   int64
+	Clients      []ClientInfo
+	CPUs         []CPUInfo
+}
+
+// ClientInfo describes one occupied client-table slot.
+type ClientInfo struct {
+	Slot     int
+	Pid      int
+	Reaping  bool // tombstoned: mid-write-off by the daemon
+	RegNano  int64
+	// LeaseNano is the last time the daemon observed the pid alive.
+	LeaseNano int64
+	// Inflight is the client's per-CPU in-flight logging counts.
+	Inflight []uint64
+}
+
+// CPUInfo describes one CPU slot's fill state.
+type CPUInfo struct {
+	CPU      int
+	Index    uint64 // free-running reservation index, words
+	Inflight uint64 // in-flight loggers, all clients
+	Slots    []SlotInfo
+	Stats    core.Stats
+}
+
+// SlotInfo describes one buffer slot.
+type SlotInfo struct {
+	State     string
+	Start     uint64
+	Committed uint64
+}
+
+// Inspect snapshots the segment at path without attaching as a client or
+// disturbing producers (the mapping is read-only). The snapshot is not
+// atomic across words — counters may be mid-update — which is inherent to
+// live inspection and fine for operator eyes.
+func Inspect(path string) (*Info, error) {
+	s, err := openSegment(path, true)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+	lay := s.lay
+	info := &Info{
+		Path:         path,
+		Geometry:     lay.geo,
+		State:        stateName(s.state()),
+		Mask:         wordAtomic(s.words, hdrMask).Load(),
+		BaseUnixNano: int64(s.words[hdrBaseUnixNano]),
+		CreateNano:   int64(s.words[hdrCreateNano]),
+	}
+	for slot := 0; slot < lay.geo.MaxClients; slot++ {
+		pid := wordAtomic(s.words, lay.clientWord(slot, clientPid)).Load()
+		if pid == 0 {
+			continue
+		}
+		ci := ClientInfo{
+			Slot:      slot,
+			Pid:       int(pid),
+			Reaping:   pid == pidTombstone,
+			RegNano:   int64(wordAtomic(s.words, lay.clientWord(slot, clientRegNano)).Load()),
+			LeaseNano: int64(wordAtomic(s.words, lay.clientWord(slot, clientLease)).Load()),
+			Inflight:  make([]uint64, lay.geo.CPUs),
+		}
+		if ci.Reaping {
+			ci.Pid = -1
+		}
+		for cpu := range ci.Inflight {
+			ci.Inflight[cpu] = atomic.LoadUint64(&s.words[lay.inflightCell(slot, cpu)])
+		}
+		info.Clients = append(info.Clients, ci)
+	}
+	clk := segClock(s)
+	for cpu := 0; cpu < lay.geo.CPUs; cpu++ {
+		a, err := buildArena(s, cpu, nil, nil, clk)
+		if err != nil {
+			return nil, err
+		}
+		ci := CPUInfo{
+			CPU:      cpu,
+			Index:    a.Index(),
+			Inflight: a.InflightTotal(),
+			Stats:    a.Stats(),
+		}
+		for sl := 0; sl < lay.geo.NumBufs; sl++ {
+			ci.Slots = append(ci.Slots, SlotInfo{
+				State:     core.SlotStateName(a.SlotState(sl)),
+				Start:     a.SlotStart(sl),
+				Committed: a.SlotCommitted(sl),
+			})
+		}
+		info.CPUs = append(info.CPUs, ci)
+	}
+	return info, nil
+}
+
+// Format writes the snapshot as the text report tracecheck -shm prints.
+func (i *Info) Format(w io.Writer) {
+	g := i.Geometry
+	clockMode := "wall"
+	if g.DeterministicClock {
+		clockMode = "deterministic"
+	}
+	fmt.Fprintf(w, "segment %s\n", i.Path)
+	fmt.Fprintf(w, "  geometry: %d cpu x %d bufs x %d words (%d KiB trace memory), %d client slots\n",
+		g.CPUs, g.NumBufs, g.BufWords, g.CPUs*g.NumBufs*g.BufWords*8/1024, g.MaxClients)
+	fmt.Fprintf(w, "  state: %s  mask: %#016x  clock: %s (created %s)\n",
+		i.State, i.Mask, clockMode, time.Unix(0, i.CreateNano).Format(time.RFC3339))
+	fmt.Fprintf(w, "  clients: %d attached\n", len(i.Clients))
+	now := time.Now().UnixNano()
+	for _, c := range i.Clients {
+		pid := fmt.Sprintf("pid %d", c.Pid)
+		if c.Reaping {
+			pid = "reaping"
+		}
+		fmt.Fprintf(w, "    slot %d: %s, attached %s, lease %s ago, inflight %v\n",
+			c.Slot, pid,
+			time.Duration(now-c.RegNano).Round(time.Millisecond),
+			time.Duration(now-c.LeaseNano).Round(time.Millisecond),
+			c.Inflight)
+	}
+	for _, c := range i.CPUs {
+		fmt.Fprintf(w, "  cpu %d: index %d (%d generations), inflight %d\n",
+			c.CPU, c.Index, c.Index/uint64(g.BufWords), c.Inflight)
+		for sl, s := range c.Slots {
+			fmt.Fprintf(w, "    buf %d: %-8s start %-10d committed %d/%d\n",
+				sl, s.State, s.Start, s.Committed, g.BufWords)
+		}
+		st := c.Stats
+		fmt.Fprintf(w, "    stats: events %d words %d seals %d (stuck %d) dropped %d retries %d fillers %d\n",
+			st.Events, st.Words, st.Seals, st.StuckSeals, st.Dropped, st.Retries, st.FillerEvents)
+	}
+}

@@ -5,8 +5,29 @@ import (
 	"io"
 	"sync"
 
+	"k42trace/internal/clock"
 	"k42trace/internal/core"
 )
+
+// Source is anything that seals trace buffers and hands them to a drain:
+// the in-process core.Tracer, or the shm daemon's Agent whose buffers live
+// in a cross-process mapping. Capture and the relay senders accept a
+// Source, so the write-out and network paths are identical for both — the
+// paper's single trace daemon serving "applications, libraries, servers,
+// and the kernel".
+type Source interface {
+	// Sealed delivers completed buffers; the channel closes after the
+	// source stops and its final flush.
+	Sealed() <-chan core.Sealed
+	// Release recycles a sealed buffer's slot after the consumer is done
+	// with its words.
+	Release(core.Sealed)
+	// BufWords, NumCPUs, and Clock describe the stream's geometry for the
+	// file header.
+	BufWords() int
+	NumCPUs() int
+	Clock() clock.Source
+}
 
 // Writer serializes sealed buffers into the trace file format. It is safe
 // for use from one goroutine (the usual pattern: one drain goroutine per
@@ -106,12 +127,12 @@ type CaptureStats struct {
 	Anomalies int
 }
 
-// Capture drains a tracer's Sealed channel into a trace file until the
-// channel closes (i.e. until tracer.Stop). It releases each buffer back to
-// the tracer after writing, which is what allows the logging side to run
-// lossless under the Block policy. This is the relayfs-style "code
+// Capture drains a source's Sealed channel into a trace file until the
+// channel closes (i.e. until the source stops). It releases each buffer
+// back to the source after writing, which is what allows the logging side
+// to run lossless under the Block policy. This is the relayfs-style "code
 // responsible for writing the data (to a network stream, file, etc.)".
-func Capture(tr *core.Tracer, w io.Writer) (CaptureStats, error) {
+func Capture(tr Source, w io.Writer) (CaptureStats, error) {
 	wr, err := NewWriter(w, Meta{
 		BufWords: tr.BufWords(),
 		CPUs:     tr.NumCPUs(),
@@ -131,8 +152,8 @@ func Capture(tr *core.Tracer, w io.Writer) (CaptureStats, error) {
 }
 
 // CaptureAsync runs Capture in a goroutine and returns a wait function
-// that reports the result after tracer.Stop has been called.
-func CaptureAsync(tr *core.Tracer, w io.Writer) (wait func() (CaptureStats, error)) {
+// that reports the result after the source has been stopped.
+func CaptureAsync(tr Source, w io.Writer) (wait func() (CaptureStats, error)) {
 	var (
 		st   CaptureStats
 		err  error

@@ -55,6 +55,7 @@ import (
 	"k42trace/internal/core"
 	"k42trace/internal/event"
 	"k42trace/internal/relay"
+	"k42trace/internal/shm"
 	"k42trace/internal/stream"
 )
 
@@ -333,3 +334,42 @@ type ValidationReport = analysis.ValidationReport
 func BuildTrace(evs []Event, hz uint64, reg *Registry) *Trace {
 	return analysis.Build(evs, hz, reg)
 }
+
+// --- Shared-memory cross-process tracing -------------------------------------
+//
+// The internal/shm subsystem maps a versioned segment file MAP_SHARED
+// into any number of real OS processes, which then run the same lockless
+// reserve/commit protocol as the in-process tracer directly on the shared
+// words — the paper's "buffers are mapped into the address space of the
+// application" design. A ktraced daemon (or an in-process ShmAgent) owns
+// each segment, drains sealed buffers into the standard stream/relay
+// paths, and writes off clients that die without detaching.
+
+// ShmClient is a process's attachment to a shared trace segment.
+type ShmClient = shm.Client
+
+// ShmCPU is a per-processor logging handle over a shared segment.
+type ShmCPU = shm.CPU
+
+// ShmAgent is the daemon side of a shared segment (ktraced embeds one).
+// It satisfies the same drain interfaces as a Tracer: pass it to
+// stream.Capture or relay.SendReliable via the cmd/ktraced flow.
+type ShmAgent = shm.Agent
+
+// ShmGeometry describes a segment to create.
+type ShmGeometry = shm.Geometry
+
+// ShmInfo is a live segment snapshot (tracecheck -shm).
+type ShmInfo = shm.Info
+
+// Attach maps the shared trace segment at path and claims a client slot;
+// the process then logs through ShmCPU handles with no system calls.
+func Attach(path string) (*ShmClient, error) { return shm.Attach(path) }
+
+// CreateShmSegment creates and publishes a shared trace segment, owned by
+// the returned agent. Most deployments run cmd/ktraced instead.
+func CreateShmSegment(path string, g ShmGeometry) (*ShmAgent, error) { return shm.Create(path, g) }
+
+// InspectShmSegment snapshots a live segment through a read-only mapping
+// without disturbing producers.
+func InspectShmSegment(path string) (*ShmInfo, error) { return shm.Inspect(path) }
