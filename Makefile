@@ -6,9 +6,9 @@ RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/ana
 FUZZTIME ?= 30s
 
 # Where `make bench` writes its machine-readable results.
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr6.json
 
-.PHONY: check build vet test race bench fuzz live-smoke shm-smoke
+.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke
 
 check: vet build test race
 
@@ -41,6 +41,13 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ > BENCH.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < BENCH.txt
 	@rm -f BENCH.txt
+
+# Hot-path regression gate: re-run the cross-address-space logging
+# benchmark and fail if any row regressed more than 20% against the
+# checked-in baseline artifact. Run before `bench`, which overwrites the
+# baseline file with fresh numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkShmLog' . | $(GO) run ./cmd/benchjson -baseline $(BENCH_JSON)
 
 # End-to-end live-monitoring smoke: collector + two producers + HTTP
 # surface + SIGTERM drain + tracecheck on the spill.

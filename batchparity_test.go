@@ -1,0 +1,131 @@
+package ktrace
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/stream"
+)
+
+// fixedClock returns the same instant forever. clock.Manual cannot serve
+// here: its step is coerced to at least 1, so plain logging (one clock
+// read per event) and batched logging (one read per batch) would diverge
+// by construction. With a constant clock, any byte difference between the
+// two streams is a real layout difference.
+type fixedClock struct{}
+
+func (fixedClock) Now(cpu int) uint64 { return 5 }
+func (fixedClock) Hz() uint64         { return 1e9 }
+
+// captureRun drives one tracer through fn and returns the serialized
+// trace stream.
+func captureRun(t *testing.T, cfg Config, fn func(tr *Tracer)) []byte {
+	t.Helper()
+	cfg.Mode = Stream
+	cfg.Clock = fixedClock{}
+	tr := MustNew(cfg)
+	tr.EnableAll()
+	var buf bytes.Buffer
+	get := CaptureAsync(tr, &buf)
+	fn(tr)
+	tr.Stop()
+	if _, err := get(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBatchStreamParity proves batching is an optimization, not a format
+// change: the same event sequence logged plainly, through an explicit
+// Batch, and through the per-P PLog fast path produces byte-identical
+// trace streams — so every analysis is trivially unchanged by batching.
+//
+// The tiling makes "no filler" exact: BufWords 16 leaves 14 words per
+// buffer after the clock anchor, one batch of 14 words is exactly 7
+// two-word Log1 events, and 70 events fill 10 buffers with no tail.
+func TestBatchStreamParity(t *testing.T) {
+	cfg := Config{CPUs: 1, BufWords: 16, NumBufs: 4}
+	const batchEvents, batches = 7, 10
+
+	logOne := func(c CPU, i int) bool { return c.Log1(MajorTest, 9, uint64(i)) }
+
+	plain := captureRun(t, cfg, func(tr *Tracer) {
+		c := tr.CPU(0)
+		for i := 0; i < batches*batchEvents; i++ {
+			if !logOne(c, i) {
+				t.Fatalf("plain log %d failed", i)
+			}
+		}
+	})
+
+	batched := captureRun(t, cfg, func(tr *Tracer) {
+		c := tr.CPU(0)
+		var b Batch
+		for i := 0; i < batches*batchEvents; i++ {
+			if i%batchEvents == 0 {
+				if !c.OpenBatch(&b, MajorTest, 2*batchEvents) {
+					t.Fatalf("OpenBatch %d failed", i)
+				}
+			}
+			if !b.Log1(MajorTest, 9, uint64(i)) {
+				t.Fatalf("batched log %d failed", i)
+			}
+		}
+		b.Close()
+	})
+
+	// The per-P path parks batches per P; pin to one P so a mid-batch
+	// migration cannot split the sequence across two parked batches.
+	prev := runtime.GOMAXPROCS(1)
+	perPCfg := cfg
+	perPCfg.BatchWords = 2 * batchEvents
+	perP := captureRun(t, perPCfg, func(tr *Tracer) {
+		for i := 0; i < batches*batchEvents; i++ {
+			if !tr.PLog1(MajorTest, 9, uint64(i)) {
+				t.Fatalf("PLog %d failed", i)
+			}
+		}
+	})
+	runtime.GOMAXPROCS(prev)
+
+	if !bytes.Equal(plain, batched) {
+		t.Errorf("explicit-batch stream differs from plain stream (%d vs %d bytes)",
+			len(batched), len(plain))
+	}
+	if !bytes.Equal(plain, perP) {
+		t.Errorf("per-P fast-path stream differs from plain stream (%d vs %d bytes)",
+			len(perP), len(plain))
+	}
+
+	// And the decoded view agrees: 10 blocks, 70 events, zero filler.
+	r, err := stream.NewReader(bytes.NewReader(plain), int64(len(plain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBlocks() != batches {
+		t.Errorf("%d blocks, want %d", r.NumBlocks(), batches)
+	}
+	var events int
+	for blk := 0; blk < r.NumBlocks(); blk++ {
+		hdr, words, err := r.Block(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, st := core.DecodeBuffer(hdr.CPU, words)
+		if st.Garbled() || st.FillerWords != 0 {
+			t.Errorf("block %d: garbled=%v filler=%d (tiling should leave none)",
+				blk, st.Garbled(), st.FillerWords)
+		}
+		for _, e := range evs {
+			if e.Major() == event.MajorTest {
+				events++
+			}
+		}
+	}
+	if events != batches*batchEvents {
+		t.Errorf("decoded %d events, want %d", events, batches*batchEvents)
+	}
+}

@@ -73,6 +73,29 @@ func BenchmarkC2EventCostPerWord(b *testing.B) {
 			c.Log1(ktrace.MajorTest, 1, uint64(i))
 		}
 	})
+	// The per-P batched fast path: one reservation CAS amortized over
+	// batch events (2 words each) instead of one per event. batch=1 is
+	// the degenerate case measuring pure fast-path dispatch overhead.
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("Log1-perP-batch=%d", batch), func(b *testing.B) {
+			tr := ktrace.MustNew(ktrace.Config{
+				CPUs: 1, BufWords: 16384, NumBufs: 4, BatchWords: 2 * batch})
+			tr.EnableAll()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.PLog1(ktrace.MajorTest, 1, uint64(i))
+			}
+			b.StopTimer()
+			tr.Quiesce() // close parked batches so the counters are exact
+			st := tr.Stats()
+			if st.Events > 0 {
+				b.ReportMetric(100*float64(st.FastHits)/float64(st.Events), "fast-hit-%")
+			}
+			if st.BatchOpens > 0 {
+				b.ReportMetric(float64(st.FastHits)/float64(st.BatchOpens), "events/cas")
+			}
+		})
+	}
 }
 
 // --- Dynamic control: ApplyMask propagation ---------------------------------
@@ -246,6 +269,43 @@ func BenchmarkShmLog(b *testing.B) {
 		}
 		ag.Close()
 	})
+
+	// Batched client: one reservation CAS on the shared words per batch
+	// events instead of per event — the same amortization the in-process
+	// per-P path gets, available across address spaces.
+	for _, batch := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shm-client-batch=%d", batch), func(b *testing.B) {
+			ag, err := ktrace.CreateShmSegment(filepath.Join(b.TempDir(), "bench.seg"),
+				ktrace.ShmGeometry{CPUs: 1, BufWords: bufWords, NumBufs: numBufs, MaxClients: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait := stream.CaptureAsync(ag, io.Discard)
+			cl, err := ktrace.Attach(ag.Path())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cl.CPU(0)
+			var bt ktrace.Batch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%batch == 0 && !c.OpenBatch(&bt, ktrace.MajorTest, 2*batch) {
+					b.Fatal("OpenBatch failed")
+				}
+				bt.Log1(ktrace.MajorTest, 1, uint64(i))
+			}
+			bt.Close()
+			b.StopTimer()
+			if err := cl.Detach(); err != nil {
+				b.Fatal(err)
+			}
+			ag.Stop()
+			if _, err := wait(); err != nil {
+				b.Fatal(err)
+			}
+			ag.Close()
+		})
+	}
 
 	b.Run("in-process", func(b *testing.B) {
 		tr := ktrace.MustNew(ktrace.Config{

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//
+// With -baseline it doubles as the CI regression gate: ns/op for every
+// benchmark present in both the run and the baseline artifact is
+// compared, and any regression beyond -tolerance percent fails the run.
+//
+//	go test -bench=BenchmarkShmLog . | benchjson -baseline BENCH_pr6.json
 package main
 
 import (
@@ -20,14 +26,14 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Name       string  `json:"name"`
-	Package    string  `json:"package,omitempty"`
-	Procs      int     `json:"procs,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	MBPerS     float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	// Extra holds custom b.ReportMetric values, unit → value.
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -44,6 +50,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout only)")
+	baseline := flag.String("baseline", "", "compare ns/op against this artifact; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 20, "allowed ns/op regression percent with -baseline")
 	flag.Parse()
 
 	art := Artifact{Results: []Result{}}
@@ -102,18 +110,68 @@ func main() {
 		os.Exit(1)
 	}
 
-	b, err := json.MarshalIndent(art, "", "  ")
+	if *out != "" {
+		b, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(art.Results), *out)
+	}
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, art.Results, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkBaseline compares ns/op against a previously exported artifact.
+// Only benchmarks present in both runs are compared, so a narrowed -bench
+// filter works against a full baseline — but zero overlap is an error,
+// catching a filter typo that would otherwise pass vacuously.
+func checkBaseline(path string, results []Result, tolerance float64) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	b = append(b, '\n')
-	if *out == "" {
-		return
+	var base Artifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	ref := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		ref[r.Package+"."+r.Name] = r.NsPerOp
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(art.Results), *out)
+	matched, failed := 0, 0
+	for _, r := range results {
+		want, ok := ref[r.Package+"."+r.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		matched++
+		delta := 100 * (r.NsPerOp - want) / want
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-60s %10.1f -> %10.1f ns/op (%+6.1f%%) %s\n",
+			r.Name, want, r.NsPerOp, delta, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in this run matched baseline %s", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% vs %s",
+			failed, matched, tolerance, path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		matched, tolerance, path)
+	return nil
 }

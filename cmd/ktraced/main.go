@@ -13,17 +13,30 @@
 // the same block format as in-process tracing, so every offline and live
 // tool works unchanged on cross-process traces.
 //
+// With -admin the daemon also serves a small HTTP control plane for
+// per-client mask management, so an operator can narrow one misbehaving
+// client to (say) nothing but control events without disturbing the rest:
+//
+//	GET  /masks                        current global and per-client masks
+//	POST /mask?mask=SPEC               set the global mask
+//	POST /mask?client=SLOT&mask=SPEC   set one client slot's override
+//
+// SPEC is the same syntax as -mask ("all", a hex literal, or major names).
+//
 // Usage:
 //
 //	ktraced -seg /dev/shm/k42.seg -spill out.ktr
-//	ktraced -seg /dev/shm/k42.seg -cpus 4 -relay 127.0.0.1:7042
+//	ktraced -seg /dev/shm/k42.seg -cpus 4 -relay 127.0.0.1:7042 -admin 127.0.0.1:7043
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	ktrace "k42trace"
@@ -32,6 +45,53 @@ import (
 	"k42trace/internal/shm"
 	"k42trace/internal/stream"
 )
+
+// serveAdmin starts the mask control plane on addr and returns the bound
+// address (for tests using port 0).
+func serveAdmin(ag *shm.Agent, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /masks", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "mask %#016x (%s)\n", ag.Mask(), ktrace.MaskString(ag.Mask()))
+		info, err := shm.Inspect(ag.Path())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, c := range info.Clients {
+			fmt.Fprintf(w, "slot %d pid %d override %#016x eff %#016x\n",
+				c.Slot, c.Pid, c.MaskOverride, c.MaskEff)
+		}
+	})
+	mux.HandleFunc("POST /mask", func(w http.ResponseWriter, r *http.Request) {
+		mask, err := event.ParseMask(r.FormValue("mask"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if slotStr := r.FormValue("client"); slotStr != "" {
+			slot, err := strconv.Atoi(slotStr)
+			if err != nil {
+				http.Error(w, "bad client slot: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := ag.SetClientMask(slot, mask); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			_, eff := ag.ClientMask(slot)
+			fmt.Fprintf(w, "slot %d override %#016x eff %#016x\n", slot, mask, eff)
+			return
+		}
+		ag.SetMask(mask)
+		fmt.Fprintf(w, "mask %#016x (%s)\n", mask, ktrace.MaskString(mask))
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
 
 func main() {
 	seg := flag.String("seg", "", "segment file to create and own (tmpfs recommended)")
@@ -42,6 +102,7 @@ func main() {
 	spill := flag.String("spill", "", "write drained buffers to this trace file")
 	relayAddr := flag.String("relay", "", "stream drained buffers to this collector address instead")
 	maskSpec := flag.String("mask", "all", `trace mask ("all", hex literal, or major names like "sched,lock")`)
+	admin := flag.String("admin", "", "serve the mask control plane on this HTTP address (e.g. 127.0.0.1:7043)")
 	rm := flag.Bool("rm", false, "remove the segment file on exit")
 	flag.Parse()
 
@@ -72,6 +133,13 @@ func main() {
 	g := ag.Geometry()
 	fmt.Printf("ktraced: segment %s ready: %d cpu x %d bufs x %d words, %d client slots, mask %s\n",
 		*seg, g.CPUs, g.NumBufs, g.BufWords, g.MaxClients, ktrace.MaskString(mask))
+	if *admin != "" {
+		addr, err := serveAdmin(ag, *admin)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("ktraced: admin on http://%s\n", addr)
+	}
 
 	// The drain runs until Stop closes the Sealed channel; the signal
 	// handler is what triggers that.

@@ -25,8 +25,8 @@ import (
 //	word 0      free-running reservation index (words)
 //	word 1      in-flight logger count for the default (local) context
 //	words 2-7   reserved; pads index+inflight to their own cache line
-//	words 8-19  statistics counters (see ctlStat* below)
-//	words 20-23 reserved
+//	words 8-21  statistics counters (see ctlStat* below)
+//	words 22-23 reserved
 //	words 24+   slot table, CtlSlotWords words per buffer:
 //	            [state, start, committed, reserved]
 //
@@ -50,6 +50,8 @@ const (
 	ctlStatAnchors      = 17
 	ctlStatBlockWaits   = 18
 	ctlStatStuckSeals   = 19
+	ctlStatFastHits     = 20
+	ctlStatBatchOpens   = 21
 
 	ctlSlotBase = 24
 	// CtlSlotWords is the stride of one buffer slot's control words.
@@ -275,6 +277,8 @@ func (a *Arena) Stats() Stats {
 		Anchors:      ld(ctlStatAnchors),
 		BlockWaits:   ld(ctlStatBlockWaits),
 		StuckSeals:   ld(ctlStatStuckSeals),
+		FastHits:     ld(ctlStatFastHits),
+		BatchOpens:   ld(ctlStatBatchOpens),
 	}
 }
 

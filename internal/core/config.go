@@ -94,6 +94,16 @@ type Config struct {
 	// the buffer's previous generation. Release time is the only moment a
 	// slot is quiescent, so ZeroFill requires Stream mode.
 	ZeroFill bool
+	// BatchWords enables the per-P batched fast path (the PLog0..PLog4
+	// entry points): each runtime processor keeps a private Batch of this
+	// many words, refilled with one reservation CAS and consumed with
+	// plain arithmetic. Larger batches amortize the CAS over more events
+	// but freeze the timestamp over more of them (every event in a batch
+	// carries the batch-open stamp) and waste more tail filler when
+	// traffic is bursty. 0 (the default) disables batching: PLog calls
+	// become plain per-CPU logs with P-affinity. Must leave room for the
+	// buffer's clock anchor: BatchWords <= BufWords - 2.
+	BatchWords int
 	// UnsafeStaleTimestamp, when set, reads the timestamp once before the
 	// CAS loop instead of inside it. This deliberately reintroduces the bug
 	// the paper warns about — "that process may be interrupted by another
@@ -134,6 +144,10 @@ func (c *Config) fill() error {
 	}
 	if c.ZeroFill && c.Mode != Stream {
 		return fmt.Errorf("core: ZeroFill requires Stream mode (buffers are only quiescent at Release)")
+	}
+	if c.BatchWords < 0 || c.BatchWords > c.BufWords-2 {
+		return fmt.Errorf("core: BatchWords must be in [0, BufWords-2], got %d (BufWords %d)",
+			c.BatchWords, c.BufWords)
 	}
 	return nil
 }

@@ -55,7 +55,9 @@ func (t *Tracer) drain() {
 // that was in effect so callers can restore it.
 func (t *Tracer) Quiesce() uint64 {
 	old := t.mask.Swap(0)
+	t.pauseBatches()
 	t.drain()
+	t.resumeBatches()
 	return old
 }
 
@@ -81,7 +83,9 @@ func (t *Tracer) Stop() {
 		return
 	}
 	t.mask.Store(0)
+	t.pauseBatches()
 	t.drain()
+	t.resumeBatches()
 	t.Flush()
 	close(t.sealed)
 }

@@ -37,6 +37,16 @@ type Stats struct {
 	// liveness scan) sealed it anomalous instead of waiting for a commit
 	// that cannot come.
 	StuckSeals uint64
+	// FastHits counts events that took the batched fast path: appended
+	// into an open Batch with plain arithmetic, no reservation CAS of
+	// their own. Compare against Events for the fast-path hit rate, and
+	// against Retries for how much reservation contention the batching
+	// amortized away. Flushed into the shared counters when the batch
+	// closes.
+	FastHits uint64
+	// BatchOpens counts Batch reservations: each is one CAS covering
+	// FastHits/BatchOpens events on average.
+	BatchOpens uint64
 }
 
 func (a Stats) add(b Stats) Stats {
@@ -52,6 +62,8 @@ func (a Stats) add(b Stats) Stats {
 	a.Anchors += b.Anchors
 	a.BlockWaits += b.BlockWaits
 	a.StuckSeals += b.StuckSeals
+	a.FastHits += b.FastHits
+	a.BatchOpens += b.BatchOpens
 	return a
 }
 

@@ -46,6 +46,13 @@ type Tracer struct {
 	// markers on each CPU appear in the same order the masks were applied.
 	maskMu      sync.Mutex
 	maskApplies atomic.Uint64
+
+	// Per-P batched fast path (see fastpath.go). pauseMu serializes the
+	// pauseBatches/resumeBatches pairs that quiescence waits bracket
+	// themselves with.
+	pslots     []pSlot
+	batchWords int
+	pauseMu    sync.Mutex
 }
 
 // New creates a Tracer. The returned tracer has an all-zero mask: tracing
@@ -88,6 +95,7 @@ func New(cfg Config) (*Tracer, error) {
 		}
 		t.cpus[i] = &TrcCtl{a: a, t: t, cpu: i}
 	}
+	t.initFastPath(cfg.BatchWords)
 	return t, nil
 }
 
@@ -203,6 +211,10 @@ func (t *Tracer) ApplyMask(newMask uint64) (old uint64) {
 		return old
 	}
 	t.maskApplies.Add(1)
+	// Parked per-P batches hold their openers in flight; close them (and
+	// hold the shard claims) or the quiescence waits below would never
+	// see zero under a steady PLog load.
+	t.pauseBatches()
 	for i := range t.cpus {
 		// The wait is a sampling race: inflight is only zero in the gaps
 		// between logging calls (the new mask still enables them); the
@@ -211,6 +223,7 @@ func (t *Tracer) ApplyMask(newMask uint64) (old uint64) {
 		t.cpus[i].a.WaitQuiescent()
 		t.CPU(i).Log2(event.MajorControl, event.CtrlMaskChange, newMask, old)
 	}
+	t.resumeBatches()
 	return old
 }
 

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"k42trace/internal/core"
 	"k42trace/internal/event"
 	"k42trace/internal/ksim"
 	"k42trace/internal/shm"
@@ -52,6 +53,12 @@ const (
 	// the reservation uncommitted and the in-flight count raised — then
 	// blocks forever, waiting for the parent's SIGKILL.
 	ModeHang = "hang"
+	// ModeBatchHang attaches, opens a Payload-word batch, appends Events
+	// two-word test events into it, and blocks with the batch open —
+	// nothing committed, in-flight raised — waiting for SIGKILL. The
+	// worst case of the batched fast path: the whole extent (written
+	// events included) must surface as a commit-count shortfall.
+	ModeBatchHang = "batchhang"
 )
 
 // ChildSpec describes one fault child.
@@ -198,6 +205,20 @@ func runChild(mode string) int {
 		}
 		fmt.Printf("hung words=%d\n", words)
 		select {} // hold the dead reservation until SIGKILL
+	case ModeBatchHang:
+		var b core.Batch
+		if !cl.CPU(cpu).OpenBatch(&b, event.MajorTest, payload) {
+			fmt.Fprintln(os.Stderr, "fault child: batch open failed")
+			return 1
+		}
+		written := 0
+		for i := 0; i < n; i++ {
+			if b.Log1(event.MajorTest, 9, uint64(i)) {
+				written++
+			}
+		}
+		fmt.Printf("hung words=%d written=%d\n", payload, 2*written)
+		select {} // hold the open batch until SIGKILL
 	default:
 		fmt.Fprintf(os.Stderr, "fault child: unknown mode %q\n", mode)
 		return 2

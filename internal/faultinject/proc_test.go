@@ -341,3 +341,84 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestCrossProcessBatchKill is the batched fast path's worst case made
+// real: a child opens a multi-event batch, appends some events, and dies
+// with the batch still open. The single batch reservation means the
+// commit shortfall covers the whole extent — written events included —
+// so the daemon must flag the block anomalous and the decoder must
+// recover the written events while skipping exactly the unwritten tail.
+func TestCrossProcessBatchKill(t *testing.T) {
+	const (
+		batchWords  = 20
+		childEvents = 3 // 6 words written, 14-word zero tail
+	)
+	ag, buf, wait := startAgent(t, shm.Geometry{CPUs: 1, BufWords: 256, NumBufs: 4, MaxClients: 4})
+
+	hang := child(t, faultinject.ChildSpec{
+		Mode: faultinject.ModeBatchHang, Segment: ag.Path(),
+		CPU: 0, Events: childEvents, Payload: batchWords,
+	})
+	line, err := hang.Expect("hung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extent, err := faultinject.Field(line, "words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	written, err := faultinject.Field(line, "written")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extent != batchWords || written != 2*childEvents {
+		t.Fatalf("child batch extent=%d written=%d, want %d/%d",
+			extent, written, batchWords, 2*childEvents)
+	}
+	if err := hang.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "dead client reaped", func() bool { return ag.Reaped() >= 1 })
+
+	// A healthy client logs past the corpse, filling and sealing the
+	// buffer that holds the abandoned batch.
+	logger := child(t, faultinject.ChildSpec{
+		Mode: faultinject.ModeLog, Segment: ag.Path(), CPU: 0, Events: 400, Pid: 7,
+	})
+	if _, err := logger.Expect("done events=400"); err != nil {
+		t.Fatal(err)
+	}
+	if err := logger.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	ag.Stop()
+	st, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Anomalies != 1 {
+		t.Errorf("captured %d anomalous blocks, want exactly 1", st.Anomalies)
+	}
+
+	evs, ds := decodeAll(t, buf.Bytes())
+	// Exact loss accounting: only the batch's unwritten tail is skipped.
+	if ds.SkippedWords != extent-written {
+		t.Errorf("decoder skipped %d words, want the batch tail's %d",
+			ds.SkippedWords, extent-written)
+	}
+	// The child's written events survive alongside the healthy client's.
+	got := 0
+	for i := range evs {
+		if evs[i].Major() == event.MajorTest {
+			got++
+		}
+	}
+	if want := 400 + childEvents; got != want {
+		t.Errorf("recovered %d test events, want %d (400 logged + %d from the dead batch)",
+			got, want, childEvents)
+	}
+}

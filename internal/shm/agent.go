@@ -1,6 +1,7 @@
 package shm
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -32,10 +33,12 @@ type Agent struct {
 	stopOnce sync.Once
 }
 
-// scanInterval is how often the agent polls the segment for sealed
-// buffers and dead clients. Producers that fill the ring faster than this
-// ride the client-side OnFull backoff until the next scan.
-const scanInterval = 2 * time.Millisecond
+// reapInterval bounds how long the agent sleeps on the doorbell before
+// waking anyway to probe client liveness. Seal-driven work no longer
+// waits on it — a producer's doorbell ring ends the sleep immediately —
+// so it only sets dead-client detection latency, and can be far longer
+// than the old 2ms drain poll while an idle segment costs ~zero CPU.
+const reapInterval = 10 * time.Millisecond
 
 // Create makes the segment file at path (tmpfs recommended), initializes
 // it, publishes it for clients, and starts the scan loop. The mask starts
@@ -49,6 +52,7 @@ func Create(path string, g Geometry) (*Agent, error) {
 	s.words[hdrClockHz] = 1e9
 	s.words[hdrBaseUnixNano] = now
 	s.words[hdrCreateNano] = now
+	s.words[hdrBaseMonoNano] = uint64(nanotime())
 	clk := segClock(s)
 	lay := s.lay
 	ag := &Agent{
@@ -61,7 +65,7 @@ func Create(path string, g Geometry) (*Agent, error) {
 		scanDone: make(chan struct{}),
 	}
 	for cpu := range ag.arenas {
-		a, err := buildArena(s, cpu, nil, nil, clk)
+		a, err := buildArena(s, cpu, nil, nil, wordAtomic(s.words, hdrMask), nil, clk)
 		if err != nil {
 			s.close()
 			return nil, err
@@ -103,12 +107,58 @@ func (ag *Agent) Clock() clock.Source { return ag.clk }
 
 // --- mask control ------------------------------------------------------------
 
-// SetMask stores a new trace mask into the segment header; every attached
-// process's next entry-point check observes it.
-func (ag *Agent) SetMask(mask uint64) { wordAtomic(ag.seg.words, hdrMask).Store(mask) }
+// SetMask stores a new global trace mask into the segment header and
+// recomputes every attached client's effective mask (global AND its
+// per-client override); every process's next entry-point check observes
+// the result.
+func (ag *Agent) SetMask(mask uint64) {
+	wordAtomic(ag.seg.words, hdrMask).Store(mask)
+	ag.refreshEffMasks()
+}
 
-// Mask returns the segment's current trace mask.
+// Mask returns the segment's current global trace mask.
 func (ag *Agent) Mask() uint64 { return wordAtomic(ag.seg.words, hdrMask).Load() }
+
+// SetClientMask narrows (or restores) one client slot's trace mask
+// without touching anyone else: the effective mask its arenas gate on
+// becomes the global mask AND this override. All-ones removes the
+// restriction. This is the daemon-side throttle for a single misbehaving
+// client — the other clients' hot paths are completely unaffected. The
+// override belongs to the slot's current occupant; Attach resets it to
+// all-ones when a new client claims the slot.
+func (ag *Agent) SetClientMask(slot int, mask uint64) error {
+	lay := ag.seg.lay
+	if slot < 0 || slot >= lay.geo.MaxClients {
+		return fmt.Errorf("shm: client slot %d out of range [0, %d)", slot, lay.geo.MaxClients)
+	}
+	wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskOverride)).Store(mask)
+	wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskEff)).Store(ag.Mask() & mask)
+	return nil
+}
+
+// ClientMask returns a client slot's override and effective masks.
+func (ag *Agent) ClientMask(slot int) (override, eff uint64) {
+	lay := ag.seg.lay
+	return wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskOverride)).Load(),
+		wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskEff)).Load()
+}
+
+// refreshEffMasks recomputes eff = hdrMask & override for every occupied
+// slot. It also runs from reapDead on every scan pass, so a transient
+// interleaving with a concurrent Attach (which initializes its own words
+// after claiming the slot) self-heals within one reap interval.
+func (ag *Agent) refreshEffMasks() {
+	lay := ag.seg.lay
+	base := ag.Mask()
+	for slot := 0; slot < lay.geo.MaxClients; slot++ {
+		pid := wordAtomic(ag.seg.words, lay.clientWord(slot, clientPid)).Load()
+		if pid == 0 || pid == pidTombstone {
+			continue
+		}
+		ov := wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskOverride)).Load()
+		wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskEff)).Store(base & ov)
+	}
+}
 
 // ApplyMask stores a new mask and waits until no producer that saw the
 // old mask is still mid-event: after it returns, events of newly disabled
@@ -139,18 +189,33 @@ func (ag *Agent) awaitQuiescence() {
 
 // --- scan loop ---------------------------------------------------------------
 
+// scan is the agent's drain loop, driven by the doorbell eventcount
+// instead of a fixed-interval poll. Each pass reaps and drains, snapshots
+// the doorbell, announces the coming sleep in hdrAgentWait, re-reads the
+// doorbell (the lost-wake guard: a producer that sealed between the drain
+// and the announcement invalidates the snapshot, and one that seals after
+// it sees hdrAgentWait set and issues the wake), and only then sleeps in
+// futexWait. The reap-interval timeout bounds how stale pid liveness can
+// get; Stop rings the doorbell to end the sleep immediately.
 func (ag *Agent) scan() {
 	defer close(ag.scanDone)
-	tick := time.NewTicker(scanInterval)
-	defer tick.Stop()
+	bell := wordAtomic(ag.seg.words, hdrDoorbell)
+	wait := wordAtomic(ag.seg.words, hdrAgentWait)
+	fw := doorbellFutexWord(ag.seg.words)
 	for {
 		select {
 		case <-ag.scanStop:
 			return
-		case <-tick.C:
-			ag.reapDead()
-			ag.drainOnce()
+		default:
 		}
+		ag.reapDead()
+		ag.drainOnce()
+		snap := bell.Load()
+		wait.Store(1)
+		if bell.Load() == snap {
+			futexWait(fw, uint32(snap), reapInterval)
+		}
+		wait.Store(0)
 	}
 }
 
@@ -181,10 +246,14 @@ func (ag *Agent) drainOnce() {
 // tombstone the table entry, zero the client's in-flight row (its
 // reservations will never commit; the stuck-buffer seal accounts for the
 // words), then free the entry. The pid CAS keeps a concurrent Detach
-// (which stores 0) from being resurrected into a tombstone.
+// (which stores 0) from being resurrected into a tombstone. Live clients
+// get their lease stamped (in the segment's lease timebase) and their
+// effective mask recomputed, which is what makes per-client mask state
+// self-healing against attach races.
 func (ag *Agent) reapDead() {
 	lay := ag.seg.lay
-	now := uint64(time.Now().UnixNano())
+	now := ag.seg.leaseNow()
+	base := ag.Mask()
 	for slot := 0; slot < lay.geo.MaxClients; slot++ {
 		pidW := wordAtomic(ag.seg.words, lay.clientWord(slot, clientPid))
 		pid := pidW.Load()
@@ -193,6 +262,8 @@ func (ag *Agent) reapDead() {
 		}
 		if pidAlive(int(pid)) {
 			wordAtomic(ag.seg.words, lay.clientWord(slot, clientLease)).Store(now)
+			ov := wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskOverride)).Load()
+			wordAtomic(ag.seg.words, lay.clientWord(slot, clientMaskEff)).Store(base & ov)
 			continue
 		}
 		if !pidW.CompareAndSwap(pid, pidTombstone) {
@@ -243,8 +314,9 @@ func (ag *Agent) Stats() core.Stats {
 func (ag *Agent) Stop() {
 	ag.stopOnce.Do(func() {
 		wordAtomic(ag.seg.words, hdrState).Store(segClosing)
-		wordAtomic(ag.seg.words, hdrMask).Store(0)
+		ag.SetMask(0)
 		close(ag.scanStop)
+		ag.seg.ring() // pop the scan loop out of its futex sleep
 		<-ag.scanDone
 		ag.awaitQuiescence()
 		ag.drainOnce()

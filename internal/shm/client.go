@@ -21,6 +21,7 @@ type Client struct {
 	seg    *segment
 	slot   int
 	arenas []*core.Arena
+	mask   *atomic.Uint64 // the word the arenas gate on (eff mask on v2)
 }
 
 // Attach maps the segment at path and claims a client-table slot. It
@@ -48,7 +49,7 @@ func Attach(path string) (*Client, error) {
 		s.close()
 		return nil, fmt.Errorf("shm: segment %s: client table full (%d slots)", path, lay.geo.MaxClients)
 	}
-	now := uint64(time.Now().UnixNano())
+	now := s.leaseNow()
 	wordAtomic(s.words, lay.clientWord(slot, clientRegNano)).Store(now)
 	wordAtomic(s.words, lay.clientWord(slot, clientLease)).Store(now)
 	// The daemon zeroes a reaped slot's in-flight row before freeing it,
@@ -56,10 +57,25 @@ func Attach(path string) (*Client, error) {
 	for cpu := 0; cpu < lay.geo.CPUs; cpu++ {
 		atomic.StoreUint64(&s.words[lay.inflightCell(slot, cpu)], 0)
 	}
-	c := &Client{seg: s, slot: slot, arenas: make([]*core.Arena, lay.geo.CPUs)}
+	// On version-2 segments the client's arenas gate on its own effective
+	// mask (global AND per-client override), so the daemon can narrow one
+	// client without touching the rest; initialize both words for the new
+	// tenancy (the daemon's scan self-heals any interleaving with a
+	// concurrent SetMask). A version-1 daemon never maintains these words,
+	// so v1 attachments gate on the global mask directly. Sealing commits
+	// ring the drain doorbell on v2; a v1 daemon polls.
+	maskW := wordAtomic(s.words, hdrMask)
+	var onSeal func(core.Sealed)
+	if s.version >= 2 {
+		wordAtomic(s.words, lay.clientWord(slot, clientMaskOverride)).Store(^uint64(0))
+		wordAtomic(s.words, lay.clientWord(slot, clientMaskEff)).Store(maskW.Load())
+		maskW = wordAtomic(s.words, lay.clientWord(slot, clientMaskEff))
+		onSeal = func(core.Sealed) { s.ring() }
+	}
+	c := &Client{seg: s, slot: slot, arenas: make([]*core.Arena, lay.geo.CPUs), mask: maskW}
 	clk := segClock(s)
 	for cpu := range c.arenas {
-		a, err := buildArena(s, cpu, &s.words[lay.inflightCell(slot, cpu)], clientOnFull(s), clk)
+		a, err := buildArena(s, cpu, &s.words[lay.inflightCell(slot, cpu)], clientOnFull(s), maskW, onSeal, clk)
 		if err != nil {
 			c.free()
 			return nil, err
@@ -73,16 +89,21 @@ func Attach(path string) (*Client, error) {
 // segment. inflight selects the in-flight word this context bumps (a
 // client's private matrix cell; nil for the daemon, which never logs);
 // InflightTotal always sums the whole matrix column, so every context
-// agrees on quiescence no matter which cell each producer uses.
-func buildArena(s *segment, cpu int, inflight *uint64, onFull func() bool, clk clock.Source) (*core.Arena, error) {
+// agrees on quiescence no matter which cell each producer uses. mask is
+// the gating word (the global header mask, or a client's effective mask
+// on version-2 segments); onSeal fires on sealing commits (the client's
+// doorbell ring) and may be nil.
+func buildArena(s *segment, cpu int, inflight *uint64, onFull func() bool,
+	mask *atomic.Uint64, onSeal func(core.Sealed), clk clock.Source) (*core.Arena, error) {
 	lay := s.lay
 	ctlLo, ctlHi := lay.ctlRegion(cpu)
 	bufLo, bufHi := lay.bufRegion(cpu)
 	return core.NewArena(core.ArenaConfig{
 		Ctl:      s.words[ctlLo:ctlHi],
 		Buf:      s.words[bufLo:bufHi],
-		Mask:     wordAtomic(s.words, hdrMask),
+		Mask:     mask,
 		Clock:    clk,
+		OnSeal:   onSeal,
 		CPU:      cpu,
 		BufWords: lay.geo.BufWords,
 		NumBufs:  lay.geo.NumBufs,
@@ -100,10 +121,10 @@ func buildArena(s *segment, cpu int, inflight *uint64, onFull func() bool, clk c
 }
 
 // clientOnFull is the client-side Block policy: the ring is full, so back
-// off until the daemon releases a buffer — it scans every couple of
-// milliseconds, so a short sleep beats spinning — unless the daemon is
-// shutting down, in which case block-forever would deadlock and the event
-// is dropped instead.
+// off until the daemon releases a buffer — the doorbell already rang when
+// the ring's last buffer sealed, so the daemon is on its way and a short
+// sleep beats spinning — unless the daemon is shutting down, in which
+// case block-forever would deadlock and the event is dropped instead.
 func clientOnFull(s *segment) func() bool {
 	return func() bool {
 		if s.state() == segClosing {
@@ -133,8 +154,10 @@ func (c *Client) NumCPUs() int { return len(c.arenas) }
 // Slot returns the client-table slot this attachment claimed.
 func (c *Client) Slot() int { return c.slot }
 
-// Mask returns the segment's current trace mask.
-func (c *Client) Mask() uint64 { return wordAtomic(c.seg.words, hdrMask).Load() }
+// Mask returns the mask this client's logging gates on: its per-client
+// effective mask on version-2 segments, the segment's global mask on
+// version 1.
+func (c *Client) Mask() uint64 { return c.mask.Load() }
 
 // CPU returns the logging handle for one processor slot. Handles are
 // cheap values; goroutines sharing one are safe but contend on its CAS.
@@ -206,6 +229,15 @@ func (c CPU) Log(major event.Major, minor uint16, data ...uint64) bool {
 // LogWords logs an event whose payload is the given word slice.
 func (c CPU) LogWords(major event.Major, minor uint16, data []uint64) bool {
 	return c.a.LogWords(major, minor, data)
+}
+
+// OpenBatch reserves a batch of event space on this CPU slot with one
+// CAS; see core.Arena.OpenBatch. Cross-process invariants hold because a
+// batch is one long in-flight logging call: the opener's in-flight cell
+// stays raised until Close, and a client killed mid-batch leaves the
+// familiar short commit count for the daemon's stuck-buffer seal.
+func (c CPU) OpenBatch(b *core.Batch, major event.Major, words int) bool {
+	return c.a.OpenBatch(b, major, words)
 }
 
 // ReserveHang reserves event space and returns with the reservation

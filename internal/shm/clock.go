@@ -8,13 +8,10 @@ import (
 )
 
 // wallClock timestamps with wall-clock nanoseconds since the segment's
-// base instant. Unlike clock.Sync, whose base is the creating process's
-// start, the base lives in the segment header, so every attached process
-// produces directly comparable stamps — the analogue of the paper's
-// synchronized timebase readable from user level. The per-CPU
-// monotonicity the reserve loop needs holds as long as the system clock
-// is not stepped backwards mid-trace (slewing is fine); a shared
-// CLOCK_MONOTONIC source is a recorded follow-up.
+// base instant — the version-1 segment clock, kept for reading old
+// segments. Its flaw is exposure to wall-clock steps: an NTP step
+// backwards mid-trace violates the per-CPU monotonicity the reserve loop
+// assumes. Version-2 segments use monoClock instead.
 type wallClock struct {
 	baseUnixNano int64
 }
@@ -42,9 +39,33 @@ func (c counterClock) Now(cpu int) uint64 {
 
 func (c counterClock) Hz() uint64 { return 1e9 }
 
+// monoClock timestamps with the machine's monotonic clock relative to the
+// base reading stored in the segment header: the shared, step-free
+// timebase of version-2 segments. CLOCK_MONOTONIC is per-machine, not
+// per-process, so stamps from every attached process are directly
+// comparable, and NTP can only slew it — never step it — so the per-CPU
+// monotonicity the reserve loop depends on cannot be broken by time
+// administration. Reads go through the vDSO (no kernel entry).
+type monoClock struct {
+	baseMonoNano int64
+}
+
+func (c monoClock) Now(cpu int) uint64 {
+	return uint64(nanotime() - c.baseMonoNano)
+}
+
+func (c monoClock) Hz() uint64 { return 1e9 }
+
+// segClock selects the timestamp source recorded in the segment header,
+// so attachers of either version log in the timebase the segment was
+// created with.
 func segClock(s *segment) clock.Source {
-	if s.lay.geo.DeterministicClock {
+	switch s.words[hdrClockMode] {
+	case clockDeterministic:
 		return counterClock{words: s.words, lay: s.lay}
+	case clockMonotonic:
+		return monoClock{baseMonoNano: int64(s.words[hdrBaseMonoNano])}
+	default:
+		return wallClock{baseUnixNano: int64(s.words[hdrBaseUnixNano])}
 	}
-	return wallClock{baseUnixNano: int64(s.words[hdrBaseUnixNano])}
 }

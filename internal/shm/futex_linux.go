@@ -1,0 +1,54 @@
+//go:build linux
+
+package shm
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// The drain doorbell is an eventcount built on one shared word and the
+// futex syscall, replacing ktraced's fixed-interval polling: the agent
+// sleeps in the kernel until a producer seals a buffer, so an idle
+// segment costs no CPU, while the producer side stays a single atomic
+// add (plus a wake syscall only in the rare seal-while-agent-sleeps
+// case). FUTEX_PRIVATE_FLAG is deliberately absent — the word lives in a
+// MAP_SHARED mapping and the waiter and waker are different processes.
+const (
+	futexOpWait = 0 // FUTEX_WAIT
+	futexOpWake = 1 // FUTEX_WAKE
+)
+
+// doorbellFutexWord returns the 32-bit futex word overlaying the low half
+// of the doorbell counter, where the counter's free-running low bits
+// land. The byte offset of the low half depends on byte order, probed at
+// runtime rather than baked into a GOARCH list.
+func doorbellFutexWord(words []uint64) *uint32 {
+	p := unsafe.Pointer(&words[hdrDoorbell])
+	probe := uint16(1)
+	if *(*byte)(unsafe.Pointer(&probe)) == 0 { // big-endian
+		p = unsafe.Add(p, 4)
+	}
+	return (*uint32)(p)
+}
+
+// futexWait blocks until the word's value differs from val, a wake
+// arrives, or the timeout expires. A val mismatch on entry returns
+// immediately (EAGAIN) — that is the eventcount's lost-wake guard: the
+// agent re-reads the doorbell after announcing itself in hdrAgentWait, so
+// a seal landing in the window invalidates val and the sleep aborts.
+func futexWait(addr *uint32, val uint32, timeout time.Duration) {
+	ts := syscall.NsecToTimespec(timeout.Nanoseconds())
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWait, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes every process sleeping on the word (there is at most
+// one: the agent).
+func futexWake(addr *uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWake, uintptr(^uint32(0)),
+		0, 0, 0)
+}

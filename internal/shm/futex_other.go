@@ -1,0 +1,33 @@
+//go:build !linux
+
+package shm
+
+import (
+	"time"
+	"unsafe"
+)
+
+// Non-Linux fallback: no futex, so the doorbell degrades to bounded
+// polling. futexWait sleeps a short fixed slice (a fraction of the
+// agent's reap interval) and returns; the agent's loop re-checks the
+// doorbell on each return, recovering the old poll-loop behavior.
+// futexWake is a no-op — the poller notices the counter change on its
+// own.
+
+func doorbellFutexWord(words []uint64) *uint32 {
+	p := unsafe.Pointer(&words[hdrDoorbell])
+	probe := uint16(1)
+	if *(*byte)(unsafe.Pointer(&probe)) == 0 { // big-endian
+		p = unsafe.Add(p, 4)
+	}
+	return (*uint32)(p)
+}
+
+func futexWait(addr *uint32, val uint32, timeout time.Duration) {
+	if timeout > 2*time.Millisecond {
+		timeout = 2 * time.Millisecond
+	}
+	time.Sleep(timeout)
+}
+
+func futexWake(addr *uint32) {}

@@ -13,25 +13,44 @@ import (
 // read-only mapping: "this event log may be examined while the system is
 // running" — producers and the daemon keep going while we look.
 type Info struct {
-	Path     string
-	Geometry Geometry
-	State    string
-	Mask     uint64
+	Path      string
+	Geometry  Geometry
+	Version   uint64
+	State     string
+	ClockMode string
+	Mask      uint64
 	// BaseUnixNano is the wall-clock instant of segment tick 0.
 	BaseUnixNano int64
 	CreateNano   int64
+	// Doorbell is the seal count producers have rung; AgentWaiting is
+	// whether the daemon was parked on it (or about to be) at snapshot
+	// time. Version-2 segments only (zero on version 1).
+	Doorbell     uint64
+	AgentWaiting bool
 	Clients      []ClientInfo
 	CPUs         []CPUInfo
 }
 
-// ClientInfo describes one occupied client-table slot.
+// ClientInfo describes one occupied client-table slot. The raw RegNano
+// and LeaseNano stamps are in the segment's lease timebase (monotonic
+// ticks on version 2, wall nanoseconds on version 1); the Age fields are
+// computed against the same timebase at snapshot time, so they are
+// meaningful for either version.
 type ClientInfo struct {
-	Slot     int
-	Pid      int
-	Reaping  bool // tombstoned: mid-write-off by the daemon
-	RegNano  int64
-	// LeaseNano is the last time the daemon observed the pid alive.
+	Slot      int
+	Pid       int
+	Reaping   bool // tombstoned: mid-write-off by the daemon
+	RegNano   int64
 	LeaseNano int64
+	// RegAgeNano and LeaseAgeNano are how long ago (in nanoseconds) the
+	// client attached and was last observed alive.
+	RegAgeNano   int64
+	LeaseAgeNano int64
+	// MaskOverride and MaskEff are the client's per-client mask words
+	// (version 2; both zero on version 1). MaskEff is what its arenas
+	// actually gate on: the global mask AND the override.
+	MaskOverride uint64
+	MaskEff      uint64
 	// Inflight is the client's per-CPU in-flight logging counts.
 	Inflight []uint64
 }
@@ -52,6 +71,17 @@ type SlotInfo struct {
 	Committed uint64
 }
 
+func clockModeName(mode uint64) string {
+	switch mode {
+	case clockDeterministic:
+		return "deterministic"
+	case clockMonotonic:
+		return "monotonic"
+	default:
+		return "wall"
+	}
+}
+
 // Inspect snapshots the segment at path without attaching as a client or
 // disturbing producers (the mapping is read-only). The snapshot is not
 // atomic across words — counters may be mid-update — which is inherent to
@@ -66,24 +96,37 @@ func Inspect(path string) (*Info, error) {
 	info := &Info{
 		Path:         path,
 		Geometry:     lay.geo,
+		Version:      s.version,
 		State:        stateName(s.state()),
+		ClockMode:    clockModeName(s.words[hdrClockMode]),
 		Mask:         wordAtomic(s.words, hdrMask).Load(),
 		BaseUnixNano: int64(s.words[hdrBaseUnixNano]),
 		CreateNano:   int64(s.words[hdrCreateNano]),
+		Doorbell:     wordAtomic(s.words, hdrDoorbell).Load(),
+		AgentWaiting: wordAtomic(s.words, hdrAgentWait).Load() != 0,
 	}
+	// Client ages must be computed in the timebase the stamps were written
+	// in — the segment's lease timebase — not raw wall time: against a
+	// version-2 segment's monotonic-tick stamps, wall-clock arithmetic
+	// yields ages off by the whole unix epoch.
+	now := int64(s.leaseNow())
 	for slot := 0; slot < lay.geo.MaxClients; slot++ {
 		pid := wordAtomic(s.words, lay.clientWord(slot, clientPid)).Load()
 		if pid == 0 {
 			continue
 		}
 		ci := ClientInfo{
-			Slot:      slot,
-			Pid:       int(pid),
-			Reaping:   pid == pidTombstone,
-			RegNano:   int64(wordAtomic(s.words, lay.clientWord(slot, clientRegNano)).Load()),
-			LeaseNano: int64(wordAtomic(s.words, lay.clientWord(slot, clientLease)).Load()),
-			Inflight:  make([]uint64, lay.geo.CPUs),
+			Slot:         slot,
+			Pid:          int(pid),
+			Reaping:      pid == pidTombstone,
+			RegNano:      int64(wordAtomic(s.words, lay.clientWord(slot, clientRegNano)).Load()),
+			LeaseNano:    int64(wordAtomic(s.words, lay.clientWord(slot, clientLease)).Load()),
+			MaskOverride: wordAtomic(s.words, lay.clientWord(slot, clientMaskOverride)).Load(),
+			MaskEff:      wordAtomic(s.words, lay.clientWord(slot, clientMaskEff)).Load(),
+			Inflight:     make([]uint64, lay.geo.CPUs),
 		}
+		ci.RegAgeNano = now - ci.RegNano
+		ci.LeaseAgeNano = now - ci.LeaseNano
 		if ci.Reaping {
 			ci.Pid = -1
 		}
@@ -94,7 +137,7 @@ func Inspect(path string) (*Info, error) {
 	}
 	clk := segClock(s)
 	for cpu := 0; cpu < lay.geo.CPUs; cpu++ {
-		a, err := buildArena(s, cpu, nil, nil, clk)
+		a, err := buildArena(s, cpu, nil, nil, wordAtomic(s.words, hdrMask), nil, clk)
 		if err != nil {
 			return nil, err
 		}
@@ -119,27 +162,36 @@ func Inspect(path string) (*Info, error) {
 // Format writes the snapshot as the text report tracecheck -shm prints.
 func (i *Info) Format(w io.Writer) {
 	g := i.Geometry
-	clockMode := "wall"
-	if g.DeterministicClock {
-		clockMode = "deterministic"
-	}
-	fmt.Fprintf(w, "segment %s\n", i.Path)
+	fmt.Fprintf(w, "segment %s (version %d)\n", i.Path, i.Version)
 	fmt.Fprintf(w, "  geometry: %d cpu x %d bufs x %d words (%d KiB trace memory), %d client slots\n",
 		g.CPUs, g.NumBufs, g.BufWords, g.CPUs*g.NumBufs*g.BufWords*8/1024, g.MaxClients)
 	fmt.Fprintf(w, "  state: %s  mask: %#016x  clock: %s (created %s)\n",
-		i.State, i.Mask, clockMode, time.Unix(0, i.CreateNano).Format(time.RFC3339))
+		i.State, i.Mask, i.ClockMode, time.Unix(0, i.CreateNano).Format(time.RFC3339))
+	if i.Version >= 2 {
+		agent := "awake"
+		if i.AgentWaiting {
+			agent = "waiting"
+		}
+		fmt.Fprintf(w, "  doorbell: %d rings, agent %s\n", i.Doorbell, agent)
+	}
 	fmt.Fprintf(w, "  clients: %d attached\n", len(i.Clients))
-	now := time.Now().UnixNano()
 	for _, c := range i.Clients {
 		pid := fmt.Sprintf("pid %d", c.Pid)
 		if c.Reaping {
 			pid = "reaping"
 		}
-		fmt.Fprintf(w, "    slot %d: %s, attached %s, lease %s ago, inflight %v\n",
+		fmt.Fprintf(w, "    slot %d: %s, attached %s, lease %s ago, inflight %v",
 			c.Slot, pid,
-			time.Duration(now-c.RegNano).Round(time.Millisecond),
-			time.Duration(now-c.LeaseNano).Round(time.Millisecond),
+			time.Duration(c.RegAgeNano).Round(time.Millisecond),
+			time.Duration(c.LeaseAgeNano).Round(time.Millisecond),
 			c.Inflight)
+		if i.Version >= 2 {
+			fmt.Fprintf(w, ", eff mask %#016x", c.MaskEff)
+			if c.MaskOverride != ^uint64(0) {
+				fmt.Fprintf(w, " (narrowed, override %#016x)", c.MaskOverride)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	for _, c := range i.CPUs {
 		fmt.Fprintf(w, "  cpu %d: index %d (%d generations), inflight %d\n",

@@ -29,12 +29,20 @@ import (
 // segMagic begins every segment file: "K42SHSEG" little-endian.
 const segMagic uint64 = 0x474553485332344B
 
-// segVersion is the current layout version.
-const segVersion = 1
+// segVersion is the current layout version. Version 2 added the
+// monotonic timebase (hdrBaseMonoNano), the drain doorbell
+// (hdrDoorbell/hdrAgentWait), and per-client masks in the client table —
+// all carved out of words that were reserved-zero in version 1, so the
+// section layout is identical and version-1 segments remain readable.
+const segVersion = 2
+
+// segMinVersion is the oldest layout openSegment still accepts.
+const segMinVersion = 1
 
 // Header word indexes. The header is the segment's first 16 words; fields
 // below hdrState are immutable after creation, so readers validate them
-// once at map time. hdrMask and hdrState are live atomics.
+// once at map time. hdrMask, hdrState, hdrDoorbell and hdrAgentWait are
+// live atomics.
 const (
 	hdrMagic        = 0  // segMagic
 	hdrVersion      = 1  // segVersion
@@ -46,8 +54,24 @@ const (
 	hdrBaseUnixNano = 7  // wall-clock instant of segment tick 0
 	hdrMask         = 8  // live trace mask (atomic)
 	hdrState        = 9  // live segment state (atomic): see seg* below
-	hdrClockMode    = 10 // clockWall or clockDeterministic
+	hdrClockMode    = 10 // clockWall, clockDeterministic or clockMonotonic
 	hdrCreateNano   = 11 // creation time, unix nanoseconds (informational)
+
+	// Version 2 fields (zero in version-1 segments).
+
+	// hdrBaseMonoNano is the CLOCK_MONOTONIC reading at segment tick 0:
+	// the shared timebase every attached process subtracts from its own
+	// monotonic clock. Valid because the monotonic clock is per-machine,
+	// not per-process, and trace segments never outlive a boot.
+	hdrBaseMonoNano = 12
+	// hdrDoorbell is the drain doorbell: a free-running count of seal
+	// events, bumped by producers; its low 32 bits double as the futex
+	// word the agent sleeps on. hdrAgentWait is 1 while the agent is
+	// (about to be) asleep — producers skip the wake syscall entirely
+	// when it is 0, keeping the logging path syscall-free except in the
+	// one seal-while-agent-sleeps case.
+	hdrDoorbell  = 13
+	hdrAgentWait = 14
 
 	hdrWords = 16
 )
@@ -70,14 +94,34 @@ const (
 	// every reservation on a CPU gets the next tick regardless of which
 	// process made it. Only for reproducible tests.
 	clockDeterministic
+	// clockMonotonic timestamps with the machine's monotonic clock
+	// relative to hdrBaseMonoNano — step-free (NTP slews but never steps
+	// it) and identical in every process, so cross-process streams merge
+	// by timestamp without exposure to wall-clock adjustments. The
+	// version-2 default; hdrBaseUnixNano still records the wall instant
+	// of tick 0 so tools can print human time.
+	clockMonotonic
 )
 
 // Client-table entry word offsets. Each entry is clientWords words.
+// Registration and lease stamps are in the segment's lease timebase:
+// monotonic ticks for version-2 segments, wall-clock unix nanoseconds
+// for version 1 (see segment.leaseNow).
 const (
 	clientPid     = 0 // 0 free, ^0 being reaped, else the attached pid
-	clientRegNano = 1 // attach time, unix nanoseconds
-	clientLease   = 2 // last time the daemon observed the pid alive (unix ns)
-	clientWords   = 8
+	clientRegNano = 1 // attach time (lease timebase)
+	clientLease   = 2 // last time the daemon observed the pid alive (lease timebase)
+
+	// Version 2: per-client trace masks. clientMaskOverride is the
+	// operator's per-client narrowing (all-ones = no restriction);
+	// clientMaskEff is the word the client's arenas actually gate on,
+	// maintained by the daemon as hdrMask & override. Splitting the two
+	// keeps the client's hot path at a single mask load while letting
+	// global and per-client changes compose in either order.
+	clientMaskOverride = 3
+	clientMaskEff      = 4
+
+	clientWords = 8
 )
 
 // pidTombstone marks a client entry mid-reap: the daemon has seen the pid

@@ -1,0 +1,16 @@
+package shm
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// nanotime is the runtime's monotonic clock: CLOCK_MONOTONIC through the
+// vDSO on Linux, so a reading costs tens of nanoseconds and no kernel
+// entry. It is the timebase behind time.Since, reached directly here
+// because the shared-segment clock needs the raw reading — wrapping it in
+// time.Time would re-anchor it to this process's start, destroying the
+// cross-process property the segment depends on: every process on the
+// machine reads the same counter.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64

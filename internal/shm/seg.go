@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync/atomic"
 	"syscall"
+	"time"
 	"unsafe"
 )
 
@@ -13,10 +14,11 @@ import (
 // on words of the mapping; the page-aligned mapping plus word-granular
 // offsets guarantee the 8-byte alignment the atomics need.
 type segment struct {
-	f     *os.File
-	mem   []byte
-	words []uint64
-	lay   layout
+	f       *os.File
+	mem     []byte
+	words   []uint64
+	lay     layout
+	version uint64
 }
 
 // wordAtomic views one mapped word as an atomic.Uint64, which is a plain
@@ -65,6 +67,7 @@ func createSegment(path string, g Geometry) (*segment, error) {
 		return nil, err
 	}
 	s.lay = lay
+	s.version = segVersion
 	w := s.words
 	w[hdrMagic] = segMagic
 	w[hdrVersion] = segVersion
@@ -74,6 +77,8 @@ func createSegment(path string, g Geometry) (*segment, error) {
 	w[hdrMaxClients] = uint64(lay.geo.MaxClients)
 	if lay.geo.DeterministicClock {
 		w[hdrClockMode] = clockDeterministic
+	} else {
+		w[hdrClockMode] = clockMonotonic
 	}
 	// state is segCreating (zero) until the agent publishes.
 	return s, nil
@@ -110,10 +115,12 @@ func openSegment(path string, readOnly bool) (*segment, error) {
 		s.close()
 		return nil, fmt.Errorf("shm: %s is not a trace segment (bad magic)", path)
 	}
-	if w[hdrVersion] != segVersion {
-		s.close()
-		return nil, fmt.Errorf("shm: %s: unsupported segment version %d", path, w[hdrVersion])
+	if v := w[hdrVersion]; v < segMinVersion || v > segVersion {
+		s.close() // unmaps w: read v before, not after
+		return nil, fmt.Errorf("shm: %s: unsupported segment version %d (this build reads %d..%d)",
+			path, v, segMinVersion, segVersion)
 	}
+	s.version = w[hdrVersion]
 	g := Geometry{
 		CPUs:               int(w[hdrCPUs]),
 		BufWords:           int(w[hdrBufWords]),
@@ -136,6 +143,29 @@ func openSegment(path string, readOnly bool) (*segment, error) {
 }
 
 func (s *segment) state() uint64 { return wordAtomic(s.words, hdrState).Load() }
+
+// leaseNow returns the current instant in the segment's lease timebase:
+// monotonic ticks since hdrBaseMonoNano for version-2 segments (correct
+// whatever the *event* clock mode, including deterministic, whose tick
+// counters must not be perturbed by lease bookkeeping), wall-clock unix
+// nanoseconds for version 1.
+func (s *segment) leaseNow() uint64 {
+	if s.version >= 2 {
+		return uint64(nanotime() - int64(s.words[hdrBaseMonoNano]))
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// ring bumps the drain doorbell after a seal and wakes the agent if (and
+// only if) it is parked on the futex word. The common case — agent awake
+// or mid-drain — is one atomic add and one load, no syscall, preserving
+// the "no system call overhead" property of the logging path.
+func (s *segment) ring() {
+	wordAtomic(s.words, hdrDoorbell).Add(1)
+	if wordAtomic(s.words, hdrAgentWait).Load() != 0 {
+		futexWake(doorbellFutexWord(s.words))
+	}
+}
 
 func (s *segment) close() error {
 	err := syscall.Munmap(s.mem)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"k42trace/internal/event"
@@ -264,4 +265,81 @@ func drainAgent(t *testing.T, ag *shm.Agent) {
 	if err := ag.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestPerClientMask: the daemon narrows one client without touching the
+// rest — the per-client override composes with the global mask in either
+// order, and Inspect surfaces both words.
+func TestPerClientMask(t *testing.T) {
+	path := segPath(t)
+	ag, err := shm.Create(path, smallGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := shm.Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := shm.Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Narrow c2 to control events only; c1 is untouched.
+	if err := ag.SetClientMask(c2.Slot(), event.MajorControl.Bit()); err != nil {
+		t.Fatal(err)
+	}
+	if c2.CPU(0).Log1(event.MajorTest, 1, 1) {
+		t.Error("narrowed client logged a masked-off major")
+	}
+	if !c1.CPU(0).Log1(event.MajorTest, 1, 2) {
+		t.Error("unrelated client was affected by the per-client mask")
+	}
+	if ov, eff := ag.ClientMask(c2.Slot()); ov != event.MajorControl.Bit() || eff != event.MajorControl.Bit() {
+		t.Errorf("ClientMask = %#x/%#x, want ctrl bit twice", ov, eff)
+	}
+
+	// Global narrowing composes: eff = global AND override.
+	ag.SetMask(event.MajorTest.Bit())
+	if _, eff := ag.ClientMask(c2.Slot()); eff != 0 {
+		t.Errorf("eff mask %#x after disjoint global/override, want 0", eff)
+	}
+	if !c1.CPU(0).Log1(event.MajorTest, 1, 3) {
+		t.Error("c1 must still log under the narrowed global mask")
+	}
+
+	// Restoring the override restores eff to the global mask.
+	if err := ag.SetClientMask(c2.Slot(), ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.CPU(0).Log1(event.MajorTest, 1, 4) {
+		t.Error("restored client cannot log")
+	}
+
+	if err := ag.SetClientMask(-1, 0); err == nil {
+		t.Error("out-of-range slot must be rejected")
+	}
+
+	// Inspect surfaces the mask words and Format prints the narrowing.
+	if err := ag.SetClientMask(c2.Slot(), event.MajorControl.Bit()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := shm.Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	info.Format(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "eff mask") || !strings.Contains(out, "narrowed") {
+		t.Errorf("Format missing per-client mask info:\n%s", out)
+	}
+
+	if err := c1.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	drainAgent(t, ag)
 }

@@ -91,6 +91,13 @@ const (
 // Sealed is a completed buffer delivered to stream consumers.
 type Sealed = core.Sealed
 
+// Batch is a per-logger sub-allocator: one reservation CAS claims many
+// events' worth of trace memory, and events are then appended with plain
+// stores — see core.Batch. Open one with CPU.OpenBatch (in-process) or
+// ShmCPU.OpenBatch (shared segment); Config.BatchWords enables the
+// transparent per-P batched fast path behind Tracer.PLog0..PLog4.
+type Batch = core.Batch
+
 // Stats is a snapshot of tracing counters.
 type Stats = core.Stats
 
