@@ -1,14 +1,14 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/ ./internal/fed/
 
 # Per-target budget for the fuzz smoke run (matches the CI job).
 FUZZTIME ?= 30s
 
 # Where `make bench` writes its machine-readable results.
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr7.json
 
-.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke
+.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke
 
 check: vet build test race
 
@@ -36,9 +36,10 @@ fuzz:
 	$(GO) test ./internal/stream/ -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) -run '^$$'
 
 # All benchmarks — the offline suite at the repo root plus the live-ingest
-# benchmarks — converted to a JSON artifact for CI upload and comparison.
+# and federation-ingest benchmarks — converted to a JSON artifact for CI
+# upload and comparison (the fed rows carry an uplink_frac extra metric).
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ > BENCH.txt
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ ./internal/fed/ > BENCH.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < BENCH.txt
 	@rm -f BENCH.txt
 
@@ -59,3 +60,9 @@ live-smoke:
 # accounting via tracecheck -salvage.
 shm-smoke:
 	./scripts/shm_smoke.sh
+
+# End-to-end federation smoke: traceaggd + three federated tracecolld
+# shards + ring-resolved producers + aggregator mask fan-down + a
+# SIGKILLed shard expiring off the ring + drain + tracecheck.
+fed-smoke:
+	./scripts/fed_smoke.sh

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"k42trace/internal/event"
+	"k42trace/internal/fed"
 	"k42trace/internal/live"
 	"k42trace/internal/relay"
 )
@@ -53,6 +54,12 @@ func main() {
 	spillPath := flag.String("spill", "", "spill every accepted block to this trace file")
 	watch := flag.String("watch", "", "comma-separated pids to keep per-window time breakdowns for")
 	maskSpec := flag.String("mask", "", `initial trace mask pushed to every producer that connects ("all", a hex literal, or major names like "ctrl,sched,lock")`)
+	up := flag.String("up", "", "federate: relay accepted blocks up to this traceaggd uplink address")
+	aggHTTP := flag.String("agg-http", "", "federate: heartbeat to this traceaggd HTTP base URL (e.g. http://127.0.0.1:7053)")
+	name := flag.String("name", "", "federate: stable shard name (default: the -listen address)")
+	advertise := flag.String("advertise", "", "federate: producer-facing address announced on the ring (default: the -listen address)")
+	upForward := flag.String("up-forward", "all", "federate: uplink relay policy, all or ctrl")
+	heartbeat := flag.Duration("heartbeat", time.Second, "federate: heartbeat period")
 	flag.Parse()
 
 	opt := live.Options{
@@ -83,7 +90,37 @@ func main() {
 		opt.Spill = f
 	}
 
-	c := live.NewCollector(opt)
+	// Federated mode wraps the collector in a shard: an uplink relays
+	// accepted blocks to the aggregator (whose mask frames fan down to
+	// this shard's producers), and heartbeats keep it on the ring.
+	var shard *fed.Shard
+	var c *live.Collector
+	if *up != "" || *aggHTTP != "" {
+		if *name == "" {
+			*name = *listen
+		}
+		if *advertise == "" {
+			*advertise = *listen
+		}
+		s, err := fed.NewShard(fed.ShardOptions{
+			Name:           *name,
+			Advertise:      *advertise,
+			HTTP:           *httpAddr,
+			AggAddr:        *up,
+			AggHTTP:        *aggHTTP,
+			HeartbeatEvery: *heartbeat,
+			Forward:        fed.ForwardMode(*upForward),
+			Live:           opt,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecolld:", err)
+			os.Exit(2)
+		}
+		shard = s
+		c = s.Collector()
+	} else {
+		c = live.NewCollector(opt)
+	}
 	if *maskSpec != "" {
 		m, err := event.ParseMask(*maskSpec)
 		if err != nil {
@@ -100,7 +137,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracecolld:", err)
 		os.Exit(1)
 	}
-	web := &http.Server{Addr: *httpAddr, Handler: c.Mux()}
+	handler := c.Mux()
+	if shard != nil {
+		handler = shard.Mux()
+	}
+	web := &http.Server{Addr: *httpAddr, Handler: handler}
 	webErr := make(chan error, 1)
 	go func() { webErr <- web.ListenAndServe() }()
 	fmt.Printf("tracecolld: producers on %s, http on %s\n", srv.Addr(), *httpAddr)
@@ -117,7 +158,13 @@ func main() {
 	// Force-close producer connections (their read loops end, queues
 	// close), then wait for every queued block to reach analysis + spill.
 	srv.CloseNow()
-	if err := c.Drain(); err != nil {
+	if shard != nil {
+		// Shard drain also flushes the uplink and sends the final Leaving
+		// heartbeat, whose overview is this shard's exact total.
+		if err := shard.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecolld: spill:", err)
+		}
+	} else if err := c.Drain(); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecolld: spill:", err)
 	}
 	if spill != nil {
@@ -142,5 +189,16 @@ func main() {
 	}
 	for reason, n := range snap.Disconnects {
 		fmt.Printf("tracecolld: disconnects %s: %d\n", reason, n)
+	}
+	if shard != nil {
+		st := shard.Stats()
+		if st.Uplink != nil {
+			fmt.Printf("tracecolld: uplink %d blocks, %d dials, %d retries, %d dropped (full %d, gave up %d), %d control frames\n",
+				st.Uplink.Blocks, st.Uplink.Dials, st.Uplink.Retries,
+				st.Uplink.DroppedFull+st.Uplink.DroppedGaveUp,
+				st.Uplink.DroppedFull, st.Uplink.DroppedGaveUp, st.Uplink.ControlFrames)
+		}
+		fmt.Printf("tracecolld: heartbeats %d ok, %d failed; %d mask frames fanned down\n",
+			st.HeartbeatsOK, st.HeartbeatsErr, st.CtrlMaskFrames)
 	}
 }

@@ -22,6 +22,12 @@
 //	tracerelay -send 127.0.0.1:7042 -cpus 4 -config coarse
 //	tracerelay -send 127.0.0.1:7042 -chaos-seed 7 -drop 0.05 -dup 0.05 -reorder 4
 //	tracerelay -send 127.0.0.1:7042 -remote-control -loadgen -duration 30s
+//	tracerelay -fed http://127.0.0.1:7053 -key web-1 -remote-control -loadgen
+//
+// With -fed the sender never names a collector: before every dial it
+// fetches the aggregator's consistent-hash ring and dials whichever
+// shard owns -key, so killing a shard rehashes the sender onto a
+// survivor on its next reconnect.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	ktrace "k42trace"
 	"k42trace/internal/faultinject"
+	"k42trace/internal/fed"
 	"k42trace/internal/ksim"
 	"k42trace/internal/relay"
 	"k42trace/internal/sdet"
@@ -56,6 +63,8 @@ func main() {
 	reconnect := flag.Bool("reconnect", false, "sender: redial with backoff if the collector drops, re-sending the failed block")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "sender: initial reconnect backoff (doubles up to 2s)")
 	attempts := flag.Int("attempts", 8, "sender: dial/write attempts per block before giving up")
+	fedURL := flag.String("fed", "", "sender: resolve the collector through this traceaggd HTTP base URL's consistent-hash ring (implies the reliable path)")
+	key := flag.String("key", "", "sender: stable ring key for -fed (default hostname-pid)")
 	remoteControl := flag.Bool("remote-control", false, "sender: apply mask updates pushed back by the collector (implies the reliable path)")
 	loadgen := flag.Bool("loadgen", false, "sender: stream a steady synthetic workload instead of a finite SDET run")
 	duration := flag.Duration("duration", 10*time.Second, "sender: how long -loadgen runs")
@@ -90,8 +99,8 @@ func main() {
 		f.Close()
 		blocks, anoms := st.Snapshot()
 		fmt.Printf("collected %d blocks (%d anomalous)\n", blocks, anoms)
-	case *send != "":
-		useReliable := *reconnect || *remoteControl
+	case *send != "" || *fedURL != "":
+		useReliable := *reconnect || *remoteControl || *fedURL != ""
 		var tr *ktrace.Tracer
 		var runWorkload func() (string, error)
 		if *loadgen {
@@ -142,6 +151,17 @@ func main() {
 				}
 				if *remoteControl {
 					opt.OnControl = relay.MaskApplier(tr)
+				}
+				if *fedURL != "" {
+					// Every dial — including each reconnect — re-resolves the
+					// owner, so a shard death rehashes this producer onto the
+					// survivor the ring assigns it to.
+					k := *key
+					if k == "" {
+						host, _ := os.Hostname()
+						k = fmt.Sprintf("%s-%d", host, os.Getpid())
+					}
+					opt.Resolve = fed.RingResolver(*fedURL, k)
 				}
 				rstats, err = relay.SendReliable(tr, *send, opt)
 			} else {

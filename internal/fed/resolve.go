@@ -1,0 +1,54 @@
+// Producer-side ring resolution. A federated producer does not get told
+// which shard to dial — it asks the aggregator for the ring document and
+// hashes its own stable key, so every producer (and the aggregator, and
+// the tests) computes the same assignment from the same pure function.
+// Plugged into relay.ReliableOptions.Resolve, this is the whole
+// rebalance story: when a shard dies, the producer's next reconnect
+// attempt resolves against the shrunken ring and lands on the shard the
+// keyspace handed its key to.
+package fed
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// FetchRing GETs the aggregator's ring document.
+func FetchRing(aggHTTP string) (RingDoc, error) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(aggHTTP + "/fed/ring")
+	if err != nil {
+		return RingDoc{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RingDoc{}, fmt.Errorf("fed: ring: %s", resp.Status)
+	}
+	var d RingDoc
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return RingDoc{}, err
+	}
+	return d, nil
+}
+
+// RingResolver returns a relay.ReliableOptions.Resolve function that
+// resolves key against the aggregator's current ring on every dial. An
+// unreachable aggregator or an empty ring is an error — SendReliable
+// counts it as a failed attempt and backs off, so a ring that is briefly
+// empty (every shard restarting at once) delays the producer instead of
+// burning its block.
+func RingResolver(aggHTTP, key string) func() (string, error) {
+	return func() (string, error) {
+		d, err := FetchRing(aggHTTP)
+		if err != nil {
+			return "", err
+		}
+		owner, ok := d.Owner(key)
+		if !ok {
+			return "", fmt.Errorf("fed: ring is empty (epoch %d)", d.Epoch)
+		}
+		return owner, nil
+	}
+}

@@ -1,0 +1,164 @@
+package fed
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"k42trace/internal/analysis"
+)
+
+// TestRingDeterministicOwnership: ownership is a pure function of the
+// member set — independent of insertion order, stable across rebuilds,
+// and identical between the server-side Ring and the client-side
+// RingDoc.Owner that producers compute from the HTTP document.
+func TestRingDeterministicOwnership(t *testing.T) {
+	members := []string{"10.0.0.1:7042", "10.0.0.2:7042", "10.0.0.3:7042"}
+	a := NewRing(0)
+	for _, m := range members {
+		a.Add(m)
+	}
+	b := NewRing(0)
+	for i := len(members) - 1; i >= 0; i-- {
+		b.Add(members[i])
+	}
+	doc := RingDoc{Vnodes: DefaultVnodes, Members: members}
+	seen := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("producer-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatal("ring claims to be empty")
+		}
+		if ob, _ := b.Owner(key); ob != oa {
+			t.Fatalf("key %q: owner depends on insertion order (%s vs %s)", key, oa, ob)
+		}
+		if od, _ := doc.Owner(key); od != oa {
+			t.Fatalf("key %q: client-side doc owner %s != server owner %s", key, od, oa)
+		}
+		seen[oa]++
+	}
+	// With 64 vnodes each, a 3-member ring must spread 1000 keys over all
+	// members; the floor is deliberately loose (hash variance at 64 vnodes
+	// is real), it only guards against a member being effectively starved.
+	for _, m := range members {
+		if seen[m] < 50 {
+			t.Errorf("member %s owns only %d/1000 keys", m, seen[m])
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member moves ONLY the keys it
+// owned; every other key keeps its owner. That is the property that makes
+// a shard death rehash only the dead shard's producers.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before[key], _ = r.Owner(key)
+	}
+	epoch := r.Epoch()
+	r.Remove("c:1")
+	if r.Epoch() <= epoch {
+		t.Fatal("Remove did not bump the epoch")
+	}
+	moved := 0
+	for key, was := range before {
+		now, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("ring empty after one removal")
+		}
+		if was == "c:1" {
+			moved++
+			if now == "c:1" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+		} else if now != was {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; test proves nothing")
+	}
+	// Re-adding restores exactly the original assignment (pure function of
+	// the member set).
+	r.Add("c:1")
+	for key, was := range before {
+		if now, _ := r.Owner(key); now != was {
+			t.Fatalf("key %q: %s after rejoin, was %s", key, now, was)
+		}
+	}
+}
+
+// TestMembershipLifecycle walks one member through every state with a
+// fake clock: active on first beat, expired when beats stop, active again
+// on rejoin, left on a Leaving beat — with the ring tracking only the
+// active phase and the merged overview counting all of them.
+func TestMembershipLifecycle(t *testing.T) {
+	ms := NewMembership(time.Second, 0)
+	now := time.Unix(1000, 0)
+	ms.now = func() time.Time { return now }
+
+	ov := func(events uint64) []analysis.ProcSummary {
+		return []analysis.ProcSummary{{Pid: 7, UserNs: events * 10, Events: events}}
+	}
+	ms.Beat(Heartbeat{Name: "s1", Addr: "h1:1", Overview: ov(5)})
+	ms.Beat(Heartbeat{Name: "s2", Addr: "h2:1", Overview: ov(3)})
+	if got := ms.Doc().Members; len(got) != 2 {
+		t.Fatalf("ring members %v, want 2", got)
+	}
+
+	// s2 stops beating; s1 keeps going past the TTL.
+	now = now.Add(700 * time.Millisecond)
+	ms.Beat(Heartbeat{Name: "s1", Addr: "h1:1", Overview: ov(6)})
+	now = now.Add(700 * time.Millisecond)
+	ms.Beat(Heartbeat{Name: "s1", Addr: "h1:1", Overview: ov(8)})
+	if got := ms.Doc().Members; len(got) != 1 || got[0] != "h1:1" {
+		t.Fatalf("after s2 expiry, ring members %v, want [h1:1]", got)
+	}
+	states := map[string]MemberState{}
+	for _, m := range ms.Members() {
+		states[m.Name] = m.State
+	}
+	if states["s1"] != StateActive || states["s2"] != StateExpired {
+		t.Fatalf("states %v", states)
+	}
+	// Expired members keep counting: merged = s1's newest (8) + s2's last (3).
+	merged := ms.MergedOverview()
+	if len(merged) != 1 || merged[0].Events != 11 {
+		t.Fatalf("merged overview %+v, want pid 7 events 11", merged)
+	}
+
+	// s2 rejoins on a new address: active again, old addr never resurfaces.
+	ms.Beat(Heartbeat{Name: "s2", Addr: "h2:9", Overview: ov(4)})
+	if got := ms.Doc().Members; len(got) != 2 {
+		t.Fatalf("after rejoin, ring members %v", got)
+	}
+	for _, m := range ms.Doc().Members {
+		if m == "h2:1" {
+			t.Fatal("stale address back on the ring after readdressed rejoin")
+		}
+	}
+
+	// Graceful leave: off the ring, final overview still counts.
+	ms.Beat(Heartbeat{Name: "s2", Addr: "h2:9", Leaving: true, Overview: ov(9)})
+	if got := ms.Doc().Members; len(got) != 1 || got[0] != "h1:1" {
+		t.Fatalf("after leave, ring members %v", got)
+	}
+	merged = ms.MergedOverview()
+	if len(merged) != 1 || merged[0].Events != 17 {
+		t.Fatalf("merged after leave %+v, want events 17", merged)
+	}
+
+	// Readdressing while active: one beat moves the ring member string.
+	ms.Beat(Heartbeat{Name: "s1", Addr: "h1:5", Overview: ov(8)})
+	if got := ms.Doc().Members; !reflect.DeepEqual(got, []string{"h1:5"}) {
+		t.Fatalf("after readdress, ring members %v, want [h1:5]", got)
+	}
+}

@@ -58,6 +58,31 @@ type Options struct {
 	Spill io.Writer
 	// Reg is the event registry (nil = default).
 	Reg *event.Registry
+	// Forward, if set, observes every accepted block after it has been
+	// applied to spill and analysis: the header (CPU already remapped into
+	// collector space), the raw words, and the decoded events. It is
+	// called outside the collector lock, in per-producer arrival order
+	// (blocks from one producer never reorder; blocks from different
+	// producers interleave, which is harmless — they live on disjoint CPU
+	// slots). This is the federation seam: a shard's uplink relays the
+	// forwarded blocks to the aggregator. The callback must not retain
+	// words or evs beyond the call.
+	Forward func(h stream.BlockHeader, words []uint64, evs []event.Event)
+	// OnSession, if set, is called exactly once, when the first producer
+	// fixes the session geometry. It runs with the collector lock held and
+	// must not call back into the collector; shards use it to start their
+	// uplink with the session's stream metadata.
+	OnSession func(meta stream.Meta)
+	// ReclaimSlots returns a producer's CPU slice to a free list once its
+	// worker has drained, so a later producer can reuse it when — and only
+	// when — fresh slots have run out. Required for rebalancing churn
+	// (producers rehashing between shards reconnect as fresh registrations,
+	// which would otherwise exhaust CPUSlots). Fresh allocation is always
+	// preferred because a reused slice puts two independent tracer clocks
+	// on one spill CPU id: the offline reader time-merges them into an
+	// interleaving the live collector never saw, so exact live-vs-offline
+	// parity is only guaranteed while the slot space has not wrapped.
+	ReclaimSlots bool
 }
 
 func (o *Options) defaults() {
@@ -93,16 +118,20 @@ type Collector struct {
 	spill     *stream.Writer
 	spillErr  error
 	nextCPU   int
+	free      [][2]int // reclaimed {base, n} CPU slices (ReclaimSlots)
 	producers map[uint64]*producer
 	order     []uint64
 	draining  bool
 
 	// Desired broadcast mask (SetMask with producerID 0); replayed to
 	// producers that connect after it was set. maskSends counts control
-	// frames successfully written to producers.
+	// frames successfully written to producers; it is atomic because
+	// frames are written outside the collector lock (a producer that
+	// stops draining its socket stalls only its own send, never ingest
+	// or the HTTP surface).
 	maskDesired uint64
 	maskSet     bool
-	maskSends   uint64
+	maskSends   atomic.Uint64
 
 	// disconnects has its own lock so a wedged analysis path (mu held)
 	// can never block recording the disconnect that resolves the wedge.
@@ -167,9 +196,16 @@ func NewCollector(opt Options) *Collector {
 // Handler returns the connection handler to pass to relay.ListenConns.
 func (c *Collector) Handler() relay.ConnHandler {
 	return func(conn relay.Conn) error {
-		p, err := c.register(conn)
+		p, pending, pendingSet, err := c.register(conn)
 		if err != nil {
 			return err
+		}
+		if pendingSet {
+			// Pending-mask replay, off the collector lock: a producer
+			// joining (or rejoining — reliable senders reconnect as a fresh
+			// conn) an already-narrowed session is retuned before its first
+			// block lands (serve has not started reading yet).
+			c.sendMask(p, pending)
 		}
 		defer func() {
 			p.connected.Store(false)
@@ -180,14 +216,17 @@ func (c *Collector) Handler() relay.ConnHandler {
 }
 
 // register admits one connection: validates its metadata against the
-// session, claims a CPU slice, and starts its worker.
-func (c *Collector) register(conn relay.Conn) (*producer, error) {
+// session, claims a CPU slice, and starts its worker. It returns the
+// pending broadcast mask (if one is set) for the handler to replay after
+// the lock is released — control frames are network writes and must not
+// run under c.mu.
+func (c *Collector) register(conn relay.Conn) (p *producer, pending uint64, pendingSet bool, err error) {
 	meta := conn.Stream.Meta()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.draining {
 		c.countDisconnect("draining")
-		return nil, fmt.Errorf("live: collector draining, rejecting %v", conn.Remote)
+		return nil, 0, false, fmt.Errorf("live: collector draining, rejecting %v", conn.Remote)
 	}
 	if c.win == nil {
 		// First producer fixes the session geometry. Window width converts
@@ -208,24 +247,48 @@ func (c *Collector) register(conn relay.Conn) (*producer, error) {
 			wr, err := stream.NewWriter(c.opt.Spill, c.meta)
 			if err != nil {
 				c.win = nil
-				return nil, fmt.Errorf("live: opening spill: %w", err)
+				return nil, 0, false, fmt.Errorf("live: opening spill: %w", err)
 			}
 			c.spill = wr
 		}
+		if c.opt.OnSession != nil {
+			c.opt.OnSession(c.meta)
+		}
 	} else if meta.BufWords != c.meta.BufWords || meta.ClockHz != c.meta.ClockHz {
 		c.countDisconnect("meta-mismatch")
-		return nil, fmt.Errorf("live: producer %v has bufWords=%d hz=%d, session has bufWords=%d hz=%d",
+		return nil, 0, false, fmt.Errorf("live: producer %v has bufWords=%d hz=%d, session has bufWords=%d hz=%d",
 			conn.Remote, meta.BufWords, meta.ClockHz, c.meta.BufWords, c.meta.ClockHz)
 	}
-	if c.nextCPU+meta.CPUs > c.opt.CPUSlots {
+	base := -1
+	if c.nextCPU+meta.CPUs <= c.opt.CPUSlots {
+		// Fresh slots first: every producer incarnation gets CPU ids no
+		// other stream has used, so the spill stays unambiguous and the
+		// live overview equals the offline analysis of the spill exactly.
+		base = c.nextCPU
+		c.nextCPU += meta.CPUs
+	} else if c.opt.ReclaimSlots {
+		// Exhausted: fall back to an exact-size reclaimed slice, oldest
+		// first, so churning producers cycle through a bounded slot space
+		// instead of being refused. A reused slice puts two independent
+		// tracer clocks on one spill CPU id, so exact offline parity is
+		// only guaranteed while the slot space has not wrapped.
+		for i, f := range c.free {
+			if f[1] == meta.CPUs {
+				base = f[0]
+				c.free = append(c.free[:i], c.free[i+1:]...)
+				break
+			}
+		}
+	}
+	if base < 0 {
 		c.countDisconnect("cpu-slots")
-		return nil, fmt.Errorf("live: out of CPU slots (%d used of %d, producer needs %d)",
+		return nil, 0, false, fmt.Errorf("live: out of CPU slots (%d used of %d, producer needs %d)",
 			c.nextCPU, c.opt.CPUSlots, meta.CPUs)
 	}
-	p := &producer{
+	p = &producer{
 		id:      conn.ID,
 		remote:  conn.Remote.String(),
-		cpuBase: c.nextCPU,
+		cpuBase: base,
 		cpus:    meta.CPUs,
 		queue:   make(chan feedItem, c.opt.QueueBlocks),
 		ctrl:    conn.Control,
@@ -235,18 +298,11 @@ func (c *Collector) register(conn relay.Conn) (*producer, error) {
 		p.lastSeq[i] = -1
 	}
 	p.connected.Store(true)
-	c.nextCPU += meta.CPUs
 	c.producers[p.id] = p
 	c.order = append(c.order, p.id)
-	if c.maskSet {
-		// Pending-mask replay: a producer joining (or rejoining — reliable
-		// senders reconnect as a fresh conn) an already-narrowed session is
-		// retuned before its first block lands.
-		c.sendMask(p, c.maskDesired)
-	}
 	c.wg.Add(1)
 	go c.worker(p)
-	return p, nil
+	return p, c.maskDesired, c.maskSet, nil
 }
 
 // serve is a producer's read loop: read a block, decode it with the
@@ -332,6 +388,9 @@ func (c *Collector) serve(p *producer, bs *stream.BlockStream) error {
 // worker drains one producer's queue, applying spill and analysis under
 // the collector lock. It exits when the handler closes the queue, after
 // draining whatever is left — so Drain never loses accepted blocks.
+// Forwarding happens outside the lock: per-producer order is preserved
+// (one worker per producer), which is all the downstream per-CPU analysis
+// needs.
 func (c *Collector) worker(p *producer) {
 	defer c.wg.Done()
 	for it := range p.queue {
@@ -343,6 +402,17 @@ func (c *Collector) worker(p *producer) {
 			}
 		}
 		c.win.Feed(it.evs)
+		c.mu.Unlock()
+		if c.opt.Forward != nil {
+			c.opt.Forward(it.h, it.words, it.evs)
+		}
+	}
+	if c.opt.ReclaimSlots {
+		// The queue is closed and fully applied: nothing can land on this
+		// producer's CPU slice anymore, so it is safe to hand to the next
+		// registrant.
+		c.mu.Lock()
+		c.free = append(c.free, [2]int{p.cpuBase, p.cpus})
 		c.mu.Unlock()
 	}
 }
@@ -443,7 +513,7 @@ func (c *Collector) Snapshot() Snapshot {
 	if c.maskSet {
 		s.DesiredMask = event.MaskString(c.maskDesired)
 	}
-	s.MaskSends = c.maskSends
+	s.MaskSends = c.maskSends.Load()
 	var maxTick, width uint64
 	if c.win != nil {
 		s.ClockHz = c.win.ClockHz()

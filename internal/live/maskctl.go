@@ -20,30 +20,41 @@ import (
 // control events is not decodable.
 func (c *Collector) SetMask(mask uint64, producerID uint64) error {
 	mask |= event.MajorControl.Bit()
+	// Pick targets under the lock, write frames off it: a control frame is
+	// a network write with a multi-second deadline, and one producer that
+	// stops draining its socket must never stall ingest workers or the
+	// HTTP handlers behind c.mu.
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var targets []*producer
 	if producerID == 0 {
 		c.maskDesired = mask
 		c.maskSet = true
 		for _, id := range c.order {
 			if p := c.producers[id]; p.connected.Load() {
-				c.sendMask(p, mask)
+				targets = append(targets, p)
 			}
 		}
-		return nil
+	} else {
+		p, ok := c.producers[producerID]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("live: no producer %d", producerID)
+		}
+		if !p.connected.Load() {
+			c.mu.Unlock()
+			return fmt.Errorf("live: producer %d is disconnected", producerID)
+		}
+		targets = append(targets, p)
 	}
-	p, ok := c.producers[producerID]
-	if !ok {
-		return fmt.Errorf("live: no producer %d", producerID)
+	c.mu.Unlock()
+	for _, p := range targets {
+		c.sendMask(p, mask)
 	}
-	if !p.connected.Load() {
-		return fmt.Errorf("live: producer %d is disconnected", producerID)
-	}
-	c.sendMask(p, mask)
 	return nil
 }
 
-// sendMask pushes one mask frame; callers hold c.mu. Send errors are
+// sendMask pushes one mask frame; it takes no collector lock (the
+// ControlSender serializes writes per connection). Send errors are
 // dropped: a failing connection is already dying, and the reconnect path
 // replays the desired mask on the fresh connection.
 func (c *Collector) sendMask(p *producer, mask uint64) {
@@ -55,7 +66,7 @@ func (c *Collector) sendMask(p *producer, mask uint64) {
 	}
 	p.sentMask.Store(mask)
 	p.sentSet.Store(true)
-	c.maskSends++
+	c.maskSends.Add(1)
 }
 
 // ProducerMaskStatus is one producer's view in GET /live/mask.
@@ -88,7 +99,7 @@ type MaskStatus struct {
 func (c *Collector) MaskStatus() MaskStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := MaskStatus{UpdatesSent: c.maskSends}
+	st := MaskStatus{UpdatesSent: c.maskSends.Load()}
 	if c.maskSet {
 		st.DesiredMask = event.MaskString(c.maskDesired)
 		st.DesiredMajors = event.MaskMajors(c.maskDesired)

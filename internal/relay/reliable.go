@@ -39,6 +39,14 @@ type ReliableOptions struct {
 	DialTimeout time.Duration
 	// OnRetry, if set, observes each failed attempt.
 	OnRetry func(err error, attempt int)
+	// Resolve, if set, is consulted before every dial and overrides the
+	// addr argument. This is the federation rebalance hook: a producer
+	// resolves its collector through the aggregator's consistent-hash
+	// ring, so when its shard dies, the very next reconnect attempt lands
+	// on the shard the ring reassigned it to. A Resolve error counts as a
+	// failed attempt (backoff, then retried), so a briefly unreachable
+	// ring document does not burn the block.
+	Resolve func() (string, error)
 	// OnControl, if set, receives every control frame the collector writes
 	// back down the connection (a reader goroutine is spawned per dialed
 	// connection, so a new connection — including a reconnect — picks up
@@ -109,7 +117,15 @@ func SendReliable(tr stream.Source, addr string, opt ReliableOptions) (ReliableS
 		attempt := 0
 		for {
 			if wr == nil {
-				c, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
+				target := addr
+				var err error
+				if opt.Resolve != nil {
+					target, err = opt.Resolve()
+				}
+				var c net.Conn
+				if err == nil {
+					c, err = net.DialTimeout("tcp", target, opt.DialTimeout)
+				}
 				if err == nil {
 					w = io.Writer(c)
 					if opt.Wrap != nil {
