@@ -1,14 +1,14 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/ ./internal/fed/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/ ./internal/fed/ ./internal/store/
 
 # Per-target budget for the fuzz smoke run (matches the CI job).
 FUZZTIME ?= 30s
 
 # Where `make bench` writes its machine-readable results.
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr8.json
 
-.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke
+.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke store-smoke
 
 check: vet build test race
 
@@ -34,12 +34,14 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz='^FuzzDecodeBlock$$' -fuzztime=$(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/stream/ -fuzz='^FuzzReadStream$$' -fuzztime=$(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/stream/ -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/store/ -fuzz='^FuzzQueryParams$$' -fuzztime=$(FUZZTIME) -run '^$$'
 
-# All benchmarks — the offline suite at the repo root plus the live-ingest
-# and federation-ingest benchmarks — converted to a JSON artifact for CI
-# upload and comparison (the fed rows carry an uplink_frac extra metric).
+# All benchmarks — the offline suite at the repo root plus the live-ingest,
+# federation-ingest, and store-query benchmarks — converted to a JSON
+# artifact for CI upload and comparison (the fed rows carry an uplink_frac
+# extra metric; the store rows carry events/query).
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ ./internal/fed/ > BENCH.txt
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/live/ ./internal/fed/ ./internal/store/ > BENCH.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < BENCH.txt
 	@rm -f BENCH.txt
 
@@ -66,3 +68,9 @@ shm-smoke:
 # SIGKILLed shard expiring off the ring + drain + tracecheck.
 fed-smoke:
 	./scripts/fed_smoke.sh
+
+# End-to-end trace-store smoke: tracestored + HTTP/watch-dir ingest +
+# queries and aggregations + event-conserving compaction + byte-budget GC
+# + tracecheck on every stored segment + the tracecolld -store handoff.
+store-smoke:
+	./scripts/store_smoke.sh

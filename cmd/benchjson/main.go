@@ -10,7 +10,7 @@
 // benchmark present in both the run and the baseline artifact is
 // compared, and any regression beyond -tolerance percent fails the run.
 //
-//	go test -bench=BenchmarkShmLog . | benchjson -baseline BENCH_pr7.json
+//	go test -bench=BenchmarkShmLog . | benchjson -baseline BENCH_pr8.json
 package main
 
 import (

@@ -29,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,6 +53,8 @@ func main() {
 	slow := flag.Duration("slow", 5*time.Second, "how long a producer may wait on a full queue before disconnection")
 	cpuSlots := flag.Int("cpu-slots", 256, "total remapped CPU slots across all producers")
 	spillPath := flag.String("spill", "", "spill every accepted block to this trace file")
+	storeURL := flag.String("store", "", "tracestored base URL to upload the final spill to (e.g. http://127.0.0.1:7045)")
+	storeTenant := flag.String("store-tenant", "default", "tenant namespace for the -store upload")
 	watch := flag.String("watch", "", "comma-separated pids to keep per-window time breakdowns for")
 	maskSpec := flag.String("mask", "", `initial trace mask pushed to every producer that connects ("all", a hex literal, or major names like "ctrl,sched,lock")`)
 	up := flag.String("up", "", "federate: relay accepted blocks up to this traceaggd uplink address")
@@ -186,6 +189,13 @@ func main() {
 		len(snap.Producers), blocks, events, garbled, stuck)
 	if *spillPath != "" {
 		fmt.Printf("tracecolld: spilled to %s\n", *spillPath)
+		if *storeURL != "" {
+			if err := uploadSpill(*storeURL, *storeTenant, *spillPath); err != nil {
+				fmt.Fprintln(os.Stderr, "tracecolld: store upload:", err)
+			} else {
+				fmt.Printf("tracecolld: spill uploaded to %s (tenant %s)\n", *storeURL, *storeTenant)
+			}
+		}
 	}
 	for reason, n := range snap.Disconnects {
 		fmt.Printf("tracecolld: disconnects %s: %d\n", reason, n)
@@ -201,4 +211,26 @@ func main() {
 		fmt.Printf("tracecolld: heartbeats %d ok, %d failed; %d mask frames fanned down\n",
 			st.HeartbeatsOK, st.HeartbeatsErr, st.CtrlMaskFrames)
 	}
+}
+
+// uploadSpill hands the drained spill to a tracestored daemon: the
+// collector keeps no long-term state, the store owns retention and
+// queries from here on.
+func uploadSpill(base, tenant, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	url := strings.TrimRight(base, "/") + "/ingest?tenant=" + tenant
+	resp, err := http.Post(url, "application/octet-stream", f)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
 }

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+// benchFixture: one tenant split across segments, plus a narrow query
+// whose answer lives in a small slice of them — the case index pruning
+// exists for.
+type benchFixture struct {
+	s      *Store
+	narrow Params
+}
+
+var (
+	benchOnce sync.Once
+	benchFix  *benchFixture
+	benchErr  error
+)
+
+func getBenchFixture(b *testing.B) *benchFixture {
+	benchOnce.Do(func() {
+		var buf bytes.Buffer
+		if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn,
+			Params: sdet.Params{ScriptsPerCPU: 16, CommandsPerScript: 20, Seed: 42},
+			Sample: 10_000, HWCSample: 12_000}, &buf); err != nil {
+			benchErr = err
+			return
+		}
+		data := buf.Bytes()
+		rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			benchErr = err
+			return
+		}
+		evs, _, err := rd.ReadAll()
+		if err != nil {
+			benchErr = err
+			return
+		}
+		lo, hi := evs[0].Time, evs[len(evs)-1].Time
+		dir, err := os.MkdirTemp("", "store-bench-*")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		s, err := Open(Options{Root: dir, SegmentSpan: (hi - lo) / 11})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := s.Ingest("bench", bytes.NewReader(data), int64(len(data))); err != nil {
+			benchErr = err
+			return
+		}
+		q1 := lo + (hi-lo)*5/11
+		benchFix = &benchFixture{s: s, narrow: Params{
+			Tenant: "bench",
+			From:   q1, To: q1 + (hi-lo)/11,
+			HasMajor: true, Major: event.MajorSched,
+		}}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchFix
+}
+
+// BenchmarkStoreQuery measures query latency with index pruning (the
+// sidecar skips non-matching segments and blocks) against brute-force
+// full scans, at 1, 16, and 64 concurrent in-flight queries — the
+// EXPERIMENTS.md table comes from these rows.
+func BenchmarkStoreQuery(b *testing.B) {
+	fix := getBenchFixture(b)
+	for _, mode := range []struct {
+		name    string
+		noPrune bool
+	}{{"indexed", false}, {"fullscan", true}} {
+		for _, conc := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/c%d", mode.name, conc), func(b *testing.B) {
+				p := fix.narrow
+				p.NoPrune = mode.noPrune
+				var evTotal atomic.Int64
+				b.ResetTimer()
+				var done atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < conc; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for done.Add(1) <= int64(b.N) {
+							r, err := fix.s.Query(p)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							evTotal.Add(int64(len(r.Events)))
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if b.N > 0 && evTotal.Load() == 0 {
+					b.Fatal("narrow query matched nothing; fixture window is wrong")
+				}
+				b.ReportMetric(float64(evTotal.Load())/float64(b.N), "events/query")
+			})
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"fmt"
+
+	"k42trace/internal/core"
+	"k42trace/internal/stream"
+)
+
+// compactKill, when non-nil, is invoked at compaction killpoints. Crash
+// tests install a hook that dies mid-mutation ("compact-before-swap",
+// "compact-after-swap") to prove the manifest swap is the only commit
+// point.
+var compactKill func(stage string)
+
+func killpoint(stage string) {
+	if compactKill != nil {
+		compactKill(stage)
+	}
+}
+
+// CompactResult reports one compaction pass.
+type CompactResult struct {
+	Tenant string `json:"tenant"`
+	// Runs is the number of merges performed; In and Out count segments.
+	Runs int `json:"runs"`
+	In   int `json:"segments_in"`
+	Out  int `json:"segments_out"`
+	// Events moved (conserved exactly: the pass aborts on any mismatch).
+	Events uint64 `json:"events"`
+}
+
+// Compact merges adjacent small segments. Only time-adjacent segments of
+// the same upload merge — CPU slots and clock bases are meaningful within
+// one upload, not across them — and only while the combined size stays
+// under MaxSegmentBytes. Each merge is one catalog swap; queries racing
+// the pass see the old or the new view, never a mix.
+func (s *Store) Compact(tenantName string) (*CompactResult, error) {
+	t := s.getTenant(tenantName)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTenant, tenantName)
+	}
+	res := &CompactResult{Tenant: tenantName}
+	for {
+		merged, in, events, err := s.compactOne(t)
+		if err != nil {
+			return res, err
+		}
+		if !merged {
+			break
+		}
+		res.Runs++
+		res.In += in
+		res.Out++
+		res.Events += events
+		s.metrics.compact(tenantName, in)
+	}
+	return res, nil
+}
+
+// compactOne finds and merges the first eligible run, reporting whether
+// anything merged.
+func (s *Store) compactOne(t *tenant) (merged bool, in int, events uint64, err error) {
+	// Pick the run and pin its segments under the catalog lock.
+	t.mu.Lock()
+	run := findRun(t.man.Segments, s.opt.MaxSegmentBytes)
+	if len(run) < 2 {
+		t.mu.Unlock()
+		return false, 0, 0, nil
+	}
+	segs := make([]*segment, 0, len(run))
+	for _, si := range run {
+		sg := t.segs[si.ID]
+		if sg == nil {
+			t.mu.Unlock()
+			return false, 0, 0, fmt.Errorf("store: segment %d in manifest but not live", si.ID)
+		}
+		sg.acquire()
+		segs = append(segs, sg)
+	}
+	outID := t.man.NextSeg
+	t.man.NextSeg++
+	t.mu.Unlock()
+	defer func() {
+		for _, sg := range segs {
+			sg.release()
+		}
+	}()
+
+	// Rebuild the merged segment cpu-major so the per-CPU renumbered
+	// sequences stay contiguous; every block keeps its recorded entry pid,
+	// so attribution is byte-identical to the inputs.
+	var want uint64
+	for _, si := range run {
+		want += si.Events
+	}
+	sb := newSegBuilder(run[0].Meta())
+	for cpu := 0; cpu < sb.meta.CPUs; cpu++ {
+		for _, sg := range segs {
+			rd, fi, err := sg.open(s.opt.Workers)
+			if err != nil {
+				return false, 0, 0, err
+			}
+			var bb stream.BlockBuf
+			for k := range fi.Blocks {
+				bs := &fi.Blocks[k]
+				if bs.CPU != cpu {
+					continue
+				}
+				h, words, err := rd.ReadBlockInto(k, &bb)
+				if err != nil {
+					return false, 0, 0, err
+				}
+				evs, _ := core.DecodeBuffer(h.CPU, words)
+				blk := stream.SalvagedBlock{
+					Hdr:    h,
+					Words:  append([]uint64(nil), words...),
+					Events: evs,
+				}
+				sb.add(&blk, bs.EntryPid)
+			}
+		}
+	}
+	if sb.events != want {
+		return false, 0, 0, fmt.Errorf("store: compaction would change event count (%d != %d)", sb.events, want)
+	}
+
+	now := s.opt.Now().Unix()
+	out, err := sb.write(t.dir, outID, run[0].Upload, now)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if out.info.Events != want {
+		out.unlink()
+		return false, 0, 0, fmt.Errorf("store: compacted segment holds %d events, inputs held %d", out.info.Events, want)
+	}
+
+	killpoint("compact-before-swap")
+	removeIDs := make([]uint64, len(run))
+	for i, si := range run {
+		removeIDs[i] = si.ID
+	}
+	t.mu.Lock()
+	err = t.swap([]*segment{out}, removeIDs)
+	t.mu.Unlock()
+	if err != nil {
+		out.unlink()
+		return false, 0, 0, err
+	}
+	killpoint("compact-after-swap")
+	return true, len(run), want, nil
+}
+
+// findRun returns the first maximal run of >= 2 time-adjacent segments
+// sharing an upload whose combined bytes fit maxBytes. Segments are in
+// (MinTime, ID) order.
+func findRun(segs []SegmentInfo, maxBytes int64) []SegmentInfo {
+	for i := 0; i < len(segs); {
+		j := i + 1
+		bytes := segs[i].Bytes
+		for j < len(segs) && segs[j].Upload == segs[i].Upload && bytes+segs[j].Bytes <= maxBytes {
+			bytes += segs[j].Bytes
+			j++
+		}
+		if j-i >= 2 {
+			return segs[i:j]
+		}
+		i = j
+	}
+	return nil
+}

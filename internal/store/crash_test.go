@@ -1,0 +1,232 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The crash-safety harness re-execs the test binary: the child installs a
+// compactKill hook that hard-exits at a chosen killpoint, the parent then
+// re-opens the wounded store and proves recovery lands on exactly the
+// pre- or post-compaction view. Env vars, not flags, select child mode so
+// the go test flag machinery never sees them.
+const (
+	crashStageEnv = "K42TRACE_STORE_CRASH_STAGE"
+	crashRootEnv  = "K42TRACE_STORE_CRASH_ROOT"
+	crashExitCode = 3
+)
+
+func TestMain(m *testing.M) {
+	if stage := os.Getenv(crashStageEnv); stage != "" {
+		crashChild(stage, os.Getenv(crashRootEnv))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashChild runs compaction and dies, without cleanup, at the requested
+// killpoint — simulating a crash at the worst moments: after the merged
+// segment hit disk but before the manifest swap, and right after it.
+func crashChild(stage, root string) {
+	compactKill = func(st string) {
+		if st == stage {
+			fmt.Printf("killpoint:%s\n", st)
+			os.Stdout.Sync()
+			os.Exit(crashExitCode)
+		}
+	}
+	s, err := Open(Options{Root: root})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	if _, err := s.Compact("acme"); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	fmt.Println("compact-done")
+	os.Exit(0)
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(f, in); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tenantFilesMatchManifest asserts the on-disk tenant directory holds
+// exactly the manifest's segments — recovery must have swept all debris.
+func tenantFilesMatchManifest(t *testing.T, dir string) manifest {
+	t.Helper()
+	man, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{manifestName: true}
+	for _, si := range man.Segments {
+		name := fmt.Sprintf("seg-%08d.ktr", si.ID)
+		want[name] = true
+		want[name+".kix"] = true
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !want[e.Name()] {
+			t.Errorf("unreferenced file %s survived recovery", e.Name())
+		}
+	}
+	return man
+}
+
+func segIDs(man manifest) []uint64 {
+	ids := make([]uint64, len(man.Segments))
+	for i, si := range man.Segments {
+		ids[i] = si.ID
+	}
+	return ids
+}
+
+// TestCrashDuringCompaction kills compaction at both killpoints and
+// verifies the reopened store is exactly the pre-swap view (before-swap:
+// the orphaned output segment is swept, the catalog is untouched) or
+// exactly the post-swap view (after-swap: the merge is committed, the
+// inputs are gone) — with the event stream byte-identical either way.
+func TestCrashDuringCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test")
+	}
+	data := sdetSpill(t, 77)
+	base, _ := readAllEvents(t, data)
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	// Template store: one tenant, one upload split fine enough that
+	// compaction has real work (adjacent same-upload runs).
+	tmpl := t.TempDir()
+	s, err := Open(Options{Root: tmpl, SegmentSpan: (hi - lo) / 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Ingest("acme", strings.NewReader(string(data)), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) < 3 {
+		t.Fatalf("need >= 3 segments for a compaction run, got %d", len(res.Segments))
+	}
+	s.Close()
+	preMan, err := loadManifest(filepath.Join(tmpl, "acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preIDs := segIDs(preMan)
+	var preEvents uint64
+	for _, si := range preMan.Segments {
+		preEvents += si.Events
+	}
+
+	for _, stage := range []string{"compact-before-swap", "compact-after-swap"} {
+		t.Run(stage, func(t *testing.T) {
+			root := t.TempDir()
+			copyDir(t, tmpl, root)
+
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(),
+				crashStageEnv+"="+stage, crashRootEnv+"="+root)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != crashExitCode {
+				t.Fatalf("child: err=%v, output:\n%s", err, out)
+			}
+			if !strings.Contains(string(out), "killpoint:"+stage) {
+				t.Fatalf("child never hit %s, output:\n%s", stage, out)
+			}
+
+			// Recovery: reopen and inspect.
+			rs, err := Open(Options{Root: root, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rs.Close()
+			man := tenantFilesMatchManifest(t, filepath.Join(root, "acme"))
+			ids := segIDs(man)
+			var events uint64
+			for _, si := range man.Segments {
+				events += si.Events
+			}
+			if events != preEvents {
+				t.Fatalf("recovered catalog holds %d events, expected %d", events, preEvents)
+			}
+			switch stage {
+			case "compact-before-swap":
+				// Exactly the pre-compaction view: same segments, and the
+				// half-written output must have been swept.
+				if fmt.Sprint(ids) != fmt.Sprint(preIDs) {
+					t.Fatalf("pre-swap crash changed the catalog: %v -> %v", preIDs, ids)
+				}
+			case "compact-after-swap":
+				// Exactly the post-compaction view of the first merge.
+				if len(ids) >= len(preIDs) {
+					t.Fatalf("post-swap crash lost the merge: %v -> %v", preIDs, ids)
+				}
+			}
+
+			// The event stream is identical in either view.
+			r, err := rs.Query(Params{Tenant: "acme"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := MatchStream(base, Params{Tenant: "acme"})
+			if !sameEvents(r.Events, want) {
+				t.Fatalf("recovered query diverges from the original spill (%d vs %d events)",
+					len(r.Events), len(want))
+			}
+
+			// And compaction can finish the job after recovery.
+			if _, err := rs.Compact("acme"); err != nil {
+				t.Fatal(err)
+			}
+			r, err = rs.Query(Params{Tenant: "acme"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameEvents(r.Events, want) {
+				t.Fatal("query diverges after post-recovery compaction")
+			}
+		})
+	}
+}

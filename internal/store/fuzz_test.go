@@ -1,0 +1,140 @@
+package store
+
+import (
+	"bytes"
+	"net/url"
+	"os"
+	"sync"
+	"testing"
+
+	"k42trace/internal/event"
+	"k42trace/internal/sdet"
+	"k42trace/internal/stream"
+)
+
+// fuzzFixture is built once per fuzz process: a store with one tenant
+// split across segments, plus the flat baseline stream for oracle checks.
+type fuzzFixture struct {
+	s    *Store
+	base []event.Event
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzFix  *fuzzFixture
+	fuzzErr  error
+)
+
+func getFuzzFixture(t testing.TB) *fuzzFixture {
+	fuzzOnce.Do(func() {
+		var buf bytes.Buffer
+		if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn,
+			Params: sdet.Params{ScriptsPerCPU: 16, CommandsPerScript: 20, Seed: 5},
+			Sample: 10_000, HWCSample: 12_000}, &buf); err != nil {
+			fuzzErr = err
+			return
+		}
+		data := buf.Bytes()
+		rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		evs, _, err := rd.ReadAll()
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		rootDir, err := os.MkdirTemp("", "store-fuzz-*")
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		lo, hi := evs[0].Time, evs[len(evs)-1].Time
+		s, err := Open(Options{Root: rootDir, SegmentSpan: (hi - lo) / 7, Workers: 2})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		if _, err := s.Ingest("acme", bytes.NewReader(data), int64(len(data))); err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzFix = &fuzzFixture{s: s, base: evs}
+	})
+	if fuzzErr != nil {
+		t.Fatal(fuzzErr)
+	}
+	return fuzzFix
+}
+
+// FuzzQueryParams fuzzes the query parameter parser and, for every query
+// string that parses, checks the pruning invariant: an index-pruned scan
+// must return exactly the events of a full scan, which must in turn match
+// the offline filter of the original merged stream.
+func FuzzQueryParams(f *testing.F) {
+	seeds := []string{
+		"tenant=acme",
+		"tenant=acme&from=100&to=2000",
+		"tenant=acme&major=sched",
+		"tenant=acme&major=lock&minor=3",
+		"tenant=acme&pid=2",
+		"tenant=acme&from=1&to=18446744073709551615&pid=0",
+		"tenant=acme&agg=overview",
+		"tenant=acme&agg=profile&pid=1&limit=10",
+		"tenant=acme&agg=timebreak&pid=1",
+		"tenant=other&major=test",
+		"tenant=&from=x",
+		"minor=7",
+		"tenant=acme&agg=bogus",
+		"tenant=acme&from=9&to=9",
+		"tenant=a%20b&pid=-1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		v, err := url.ParseQuery(query)
+		if err != nil {
+			return
+		}
+		p, err := ParseParams(v)
+		if err != nil {
+			return // rejected input: the parser's job is just not to panic
+		}
+		// Round-trip: an accepted param set must re-encode and re-parse to
+		// itself.
+		p2, err := ParseParams(p.Values())
+		if err != nil {
+			t.Fatalf("accepted params did not re-parse: %v (from %q)", err, query)
+		}
+		if p2 != p {
+			t.Fatalf("params round-trip changed: %+v -> %+v", p, p2)
+		}
+
+		// Pruning invariant against the fixture store. Aggregations render
+		// from the same filtered events, so compare events directly.
+		fix := getFuzzFixture(t)
+		p.Tenant = "acme"
+		p.Agg = "events"
+		p.Limit = 0
+		p.NoPrune = false
+		pruned, err := fix.s.Query(p)
+		if err != nil {
+			t.Fatalf("pruned query: %v", err)
+		}
+		p.NoPrune = true
+		full, err := fix.s.Query(p)
+		if err != nil {
+			t.Fatalf("full-scan query: %v", err)
+		}
+		if !sameEvents(pruned.Events, full.Events) {
+			t.Fatalf("pruning changed results for %q: %d pruned vs %d full events",
+				query, len(pruned.Events), len(full.Events))
+		}
+		if want := MatchStream(fix.base, p); !sameEvents(full.Events, want) {
+			t.Fatalf("store scan diverges from offline filter for %q: %d vs %d events",
+				query, len(full.Events), len(want))
+		}
+	})
+}

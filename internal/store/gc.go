@@ -1,0 +1,127 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// GCResult reports one retention pass over one tenant.
+type GCResult struct {
+	Tenant   string `json:"tenant"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	Events   uint64 `json:"events"`
+}
+
+// GC applies retention to one tenant: segments older than RetainAge go
+// first, then the oldest remaining segments until the tenant fits
+// RetainBytes. The whole expiry is one catalog swap; in-flight queries
+// that pinned an expired segment finish on its refcounted files.
+func (s *Store) GC(tenantName string) (*GCResult, error) {
+	t := s.getTenant(tenantName)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTenant, tenantName)
+	}
+	res := &GCResult{Tenant: tenantName}
+	if s.opt.RetainAge == 0 && s.opt.RetainBytes == 0 {
+		return res, nil
+	}
+	now := s.opt.Now()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var doomed []uint64
+	keepBytes := int64(0)
+	for _, si := range t.man.Segments {
+		keepBytes += si.Bytes
+	}
+	// Age first: Created is the ingest instant, so expiry is "how long the
+	// store has held it", independent of trace-internal clocks.
+	expired := map[uint64]bool{}
+	if s.opt.RetainAge > 0 {
+		cutoff := now.Add(-s.opt.RetainAge).Unix()
+		for _, si := range t.man.Segments {
+			if si.Created < cutoff {
+				expired[si.ID] = true
+			}
+		}
+	}
+	// Then bytes: drop the oldest survivors (ingest order = ascending ID)
+	// until under budget.
+	if s.opt.RetainBytes > 0 {
+		over := keepBytes
+		for _, si := range t.man.Segments {
+			if expired[si.ID] {
+				over -= si.Bytes
+			}
+		}
+		if over > s.opt.RetainBytes {
+			byAge := append([]SegmentInfo(nil), t.man.Segments...)
+			sortByID(byAge)
+			for _, si := range byAge {
+				if over <= s.opt.RetainBytes {
+					break
+				}
+				if expired[si.ID] {
+					continue
+				}
+				expired[si.ID] = true
+				over -= si.Bytes
+			}
+		}
+	}
+	for _, si := range t.man.Segments {
+		if expired[si.ID] {
+			doomed = append(doomed, si.ID)
+			res.Segments++
+			res.Bytes += si.Bytes
+			res.Events += si.Events
+		}
+	}
+	if len(doomed) == 0 {
+		return res, nil
+	}
+	if err := t.swap(nil, doomed); err != nil {
+		return nil, err
+	}
+	s.metrics.gc(tenantName, res.Segments, res.Bytes)
+	return res, nil
+}
+
+// GCAll runs retention over every tenant.
+func (s *Store) GCAll() []GCResult {
+	var out []GCResult
+	for _, st := range s.Tenants() {
+		if r, err := s.GC(st.Name); err == nil && r.Segments > 0 {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// CompactAll compacts every tenant.
+func (s *Store) CompactAll() []CompactResult {
+	var out []CompactResult
+	for _, st := range s.Tenants() {
+		if r, err := s.Compact(st.Name); err == nil && r.Runs > 0 {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+func sortByID(segs []SegmentInfo) {
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].ID < segs[j-1].ID; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}
+
+// retainAgeString formats the configured age for /healthz.
+func retainAgeString(d time.Duration) string {
+	if d == 0 {
+		return "off"
+	}
+	return d.String()
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHammerQueriesVsMutation races queries against ingest, compaction,
+// and GC (run under -race in CI). The invariants:
+//
+//   - every query sees a committed catalog state: with uploads of E
+//     events each landing in one atomic swap, a full-range count is
+//     always a multiple of E, compaction racing or not;
+//   - results are properly merge-ordered;
+//   - nothing errors: in-process refcounting means deletion underfoot
+//     never surfaces, even while GC drops segments mid-query.
+func TestHammerQueriesVsMutation(t *testing.T) {
+	data := sdetSmall(t, 99)
+	base, _ := readAllEvents(t, data)
+	e := uint64(len(base))
+	if e == 0 {
+		t.Fatal("empty spill")
+	}
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	const uploads = 8
+	s := openStore(t, Options{
+		SegmentSpan: (hi - lo) / 3,
+		// Byte budget ~ 4 uploads: GC constantly deletes under the queries.
+		RetainBytes: int64(len(data)) * 4,
+		Workers:     2,
+	})
+
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		queries  atomic.Int64
+		gcPasses atomic.Int64
+	)
+
+	// Ingest: one atomic upload at a time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < uploads; i++ {
+			ingestBytes(t, s, "mix", data)
+		}
+		done.Store(true)
+	}()
+
+	// Compaction churns continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if _, err := s.Compact("mix"); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	// GC churns continuously (byte budget forces real deletions).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if r, err := s.GC("mix"); err != nil {
+				if !isNoTenant(err) {
+					t.Errorf("gc: %v", err)
+					return
+				}
+			} else if r.Segments > 0 {
+				gcPasses.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Queries: full range and predicated, pruned and not.
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for !done.Load() {
+				p := Params{Tenant: "mix"}
+				switch q % 3 {
+				case 1:
+					p.From, p.To = lo+(hi-lo)/4, lo+3*(hi-lo)/4
+				case 2:
+					p.NoPrune = true
+				}
+				r, err := s.Query(p)
+				if err != nil {
+					if isNoTenant(err) {
+						continue // racing the very first ingest
+					}
+					t.Errorf("query: %v", err)
+					return
+				}
+				queries.Add(1)
+				if p.From == 0 && p.To == 0 {
+					if uint64(len(r.Events))%e != 0 {
+						t.Errorf("full-range query saw %d events; not a multiple of upload size %d",
+							len(r.Events), e)
+						return
+					}
+				}
+				for i := 1; i < len(r.Events); i++ {
+					a, b := &r.Events[i-1], &r.Events[i]
+					if a.Time > b.Time || (a.Time == b.Time && a.CPU > b.CPU) {
+						t.Errorf("query result out of merge order at %d", i)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no query completed")
+	}
+	t.Logf("%d queries raced %d uploads, gc freed segments %d times",
+		queries.Load(), uploads, gcPasses.Load())
+
+	// Settle: after the race, the store must still be exactly consistent.
+	if _, err := s.Compact("mix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC("mix"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(Params{Tenant: "mix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(r.Events))%e != 0 {
+		t.Fatalf("settled store holds %d events; not a multiple of %d", len(r.Events), e)
+	}
+}

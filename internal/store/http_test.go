@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"k42trace/internal/stream"
+)
+
+// TestHTTPSurface drives the daemon's handler end to end over real HTTP:
+// ingest, query (events + aggregation), the error statuses (400/404/405/
+// 410), admin actions, and the metrics/tenants/healthz surfaces.
+func TestHTTPSurface(t *testing.T) {
+	data := sdetSmall(t, 30)
+	base, _ := readAllEvents(t, data)
+	s := openStore(t, Options{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	wantStatus := func(resp *http.Response, code int) []byte {
+		t.Helper()
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != code {
+			t.Fatalf("%s: status %d, want %d: %s", resp.Request.URL, resp.StatusCode, code, b)
+		}
+		return b
+	}
+
+	// Ingest: happy path echoes the IngestResult.
+	var res IngestResult
+	if err := json.Unmarshal(wantStatus(post("/ingest?tenant=acme", data), 200), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != uint64(len(base)) {
+		t.Fatalf("ingest stored %d events, spill holds %d", res.Events, len(base))
+	}
+	wantStatus(post("/ingest?tenant=bad/name", data), 400)
+	wantStatus(post("/ingest?tenant=acme", []byte("not a trace")), 400)
+	wantStatus(get("/ingest?tenant=acme"), 405)
+
+	// Query: events listing with exact X-Events accounting.
+	resp := get("/query?tenant=acme")
+	events := resp.Header.Get("X-Events")
+	body := wantStatus(resp, 200)
+	if events != strconv.Itoa(len(base)) {
+		t.Fatalf("X-Events = %s, spill holds %d", events, len(base))
+	}
+	if got := strings.Count(string(body), "\n"); got != len(base) {
+		t.Fatalf("listing has %d lines for %d events", got, len(base))
+	}
+	if !strings.Contains(string(wantStatus(get("/query?tenant=acme&agg=overview"), 200)), "pid") {
+		t.Fatal("overview aggregation rendered nothing")
+	}
+	wantStatus(get("/query?tenant=acme&from=oops"), 400)
+	wantStatus(get("/query?tenant=ghost"), 404)
+
+	// Admin surfaces.
+	wantStatus(post("/admin/compact?tenant=acme", nil), 200)
+	wantStatus(post("/admin/gc", nil), 200)
+	wantStatus(get("/admin/compact"), 405)
+	if !strings.Contains(string(wantStatus(get("/tenants"), 200)), `"name":"acme"`) {
+		t.Fatal("/tenants does not list acme")
+	}
+	if !strings.Contains(string(wantStatus(get("/healthz"), 200)), `"ok":true`) {
+		t.Fatal("healthz not ok")
+	}
+	metrics := string(wantStatus(get("/metrics"), 200))
+	for _, want := range []string{
+		`tracestored_ingests_total{tenant="acme"} 1`,
+		`tracestored_query_seconds_count`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// 410 Gone: something outside the store deletes segment files underfoot
+	// (refcounting protects against the store's own GC, not against rm).
+	if err := json.Unmarshal(wantStatus(post("/ingest?tenant=doomed", data), 200), &res); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(s.opt.Root, "doomed", "seg-*.ktr"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no segment files for tenant doomed: %v", err)
+	}
+	for _, p := range paths {
+		os.Remove(p)
+		os.Remove(stream.IndexSidecarPath(p))
+	}
+	wantStatus(get("/query?tenant=doomed"), 410)
+	// The other tenant is untouched by the neighbour's disappearance.
+	wantStatus(get("/query?tenant=acme&agg=lockstat"), 200)
+}

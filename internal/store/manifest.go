@@ -1,0 +1,125 @@
+// Package store is the multi-tenant trace storage and query tier: a
+// directory tree of time-sharded, compacted trace segments with per-tenant
+// namespaces, persisted secondary indexes, retention, and a query planner
+// that answers time/predicate/aggregation queries from index-pruned
+// parallel block scans instead of full reads.
+//
+// On-disk layout:
+//
+//	<root>/<tenant>/manifest.json      the tenant's source of truth
+//	<root>/<tenant>/seg-<id>.ktr       one time-bounded segment (a clean
+//	                                   trace file, openable by every tool)
+//	<root>/<tenant>/seg-<id>.ktr.kix   the segment's persisted index
+//
+// The manifest is the commit point for every mutation (ingest, compaction,
+// GC): segment files are written first, then the manifest is atomically
+// replaced (tmp + rename). Crash recovery therefore sees either the old or
+// the new manifest, never a mix, and deletes any segment file the
+// surviving manifest does not reference.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"k42trace/internal/stream"
+)
+
+// manifestVersion guards the manifest schema.
+const manifestVersion = 1
+
+// SegmentInfo is one segment's manifest record.
+type SegmentInfo struct {
+	ID   uint64 `json:"id"`
+	File string `json:"file"` // file name within the tenant directory
+	// Upload identifies the source spill this segment's blocks came from.
+	// Compaction merges only segments of the same upload: CPU slots and
+	// clock bases are meaningful within one upload, not across them.
+	Upload uint64 `json:"upload"`
+	// MinTime and MaxTime bound the segment's event times (ticks).
+	MinTime uint64 `json:"min_time"`
+	MaxTime uint64 `json:"max_time"`
+	Events  uint64 `json:"events"`
+	Blocks  int    `json:"blocks"`
+	Bytes   int64  `json:"bytes"`
+	// Created is the wall-clock ingest instant (unix seconds), the
+	// retention clock.
+	Created int64 `json:"created"`
+	// Trace geometry, echoed so recovery can sanity-check the file.
+	BufWords int    `json:"buf_words"`
+	CPUs     int    `json:"cpus"`
+	ClockHz  uint64 `json:"clock_hz"`
+	// EntryPids is the scheduled pid per CPU slot when the segment begins
+	// — the carry a sidecar rebuild needs to keep pid attribution exact
+	// across segment boundaries.
+	EntryPids []uint64 `json:"entry_pids,omitempty"`
+}
+
+// Meta returns the segment's stream metadata.
+func (si *SegmentInfo) Meta() stream.Meta {
+	return stream.Meta{BufWords: si.BufWords, CPUs: si.CPUs, ClockHz: si.ClockHz}
+}
+
+// manifest is one tenant's segment catalog.
+type manifest struct {
+	Version    int           `json:"version"`
+	NextSeg    uint64        `json:"next_seg"`
+	NextUpload uint64        `json:"next_upload"`
+	Segments   []SegmentInfo `json:"segments"`
+}
+
+// sortSegments orders the catalog the query planner wants: ascending
+// MinTime, ties by ID (which is also ingest order).
+func sortSegments(segs []SegmentInfo) {
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].MinTime != segs[j].MinTime {
+			return segs[i].MinTime < segs[j].MinTime
+		}
+		return segs[i].ID < segs[j].ID
+	})
+}
+
+const manifestName = "manifest.json"
+
+// loadManifest reads a tenant's manifest; a missing file is an empty
+// catalog (a tenant directory created but never committed to).
+func loadManifest(dir string) (manifest, error) {
+	var m manifest
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("store: %s: %w", filepath.Join(dir, manifestName), err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("store: %s: unsupported manifest version %d", dir, m.Version)
+	}
+	sortSegments(m.Segments)
+	return m, nil
+}
+
+// saveManifest atomically replaces the tenant's manifest: the rename is
+// the commit point of every store mutation.
+func saveManifest(dir string, m manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, manifestName)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

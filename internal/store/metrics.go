@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// queryBuckets are the query-latency histogram upper bounds (seconds).
+var queryBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// tenantCounters is one tenant's cumulative totals.
+type tenantCounters struct {
+	Ingests       uint64
+	IngestEvents  uint64
+	IngestBlocks  uint64
+	IngestSalvage uint64 // ingests that needed repair
+
+	Queries       uint64
+	QueryErrors   uint64
+	QueryGone     uint64 // queries that hit a deleted segment (410)
+	BlocksScanned uint64 // blocks actually decoded by queries
+	BlocksPruned  uint64 // blocks skipped by the index
+	SegsPruned    uint64 // whole segments skipped by the catalog
+
+	Compactions   uint64
+	CompactedSegs uint64
+	GCSegments    uint64
+	GCBytes       uint64
+}
+
+// Metrics is the store's cumulative counter set, rendered in Prometheus
+// text exposition format (hand-rendered: no dependencies beyond the
+// standard library).
+type Metrics struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantCounters
+
+	// query latency histogram (global; per-tenant would multiply series)
+	latBuckets []uint64
+	latCount   uint64
+	latSum     float64
+}
+
+func (m *Metrics) init() {
+	m.tenants = map[string]*tenantCounters{}
+	m.latBuckets = make([]uint64, len(queryBuckets))
+}
+
+func (m *Metrics) tc(tenant string) *tenantCounters {
+	c := m.tenants[tenant]
+	if c == nil {
+		c = &tenantCounters{}
+		m.tenants[tenant] = c
+	}
+	return c
+}
+
+func (m *Metrics) ingest(tenant string, res *IngestResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	c.Ingests++
+	c.IngestEvents += res.Events
+	c.IngestBlocks += uint64(res.Blocks)
+	if res.Salvaged {
+		c.IngestSalvage++
+	}
+}
+
+// query records one query's outcome and pruning effectiveness.
+func (m *Metrics) query(tenant string, dur time.Duration, scanned, pruned, segsPruned int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	c.Queries++
+	if err != nil {
+		c.QueryErrors++
+		if isGone(err) {
+			c.QueryGone++
+		}
+	}
+	c.BlocksScanned += uint64(scanned)
+	c.BlocksPruned += uint64(pruned)
+	c.SegsPruned += uint64(segsPruned)
+	sec := dur.Seconds()
+	m.latCount++
+	m.latSum += sec
+	for i, ub := range queryBuckets {
+		if sec <= ub {
+			m.latBuckets[i]++
+		}
+	}
+}
+
+func (m *Metrics) compact(tenant string, merged int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	c.Compactions++
+	c.CompactedSegs += uint64(merged)
+}
+
+func (m *Metrics) gc(tenant string, segs int, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	c.GCSegments += uint64(segs)
+	c.GCBytes += uint64(bytes)
+}
+
+// Write renders the metrics page. The store is passed in so catalog
+// gauges (segments, bytes, events per tenant) reflect the live view
+// rather than counters.
+func (m *Metrics) Write(w io.Writer, s *Store) {
+	stats := s.Tenants()
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := make(map[string]tenantCounters, len(names))
+	for _, n := range names {
+		snap[n] = *m.tenants[n]
+	}
+	latBuckets := append([]uint64(nil), m.latBuckets...)
+	latCount, latSum := m.latCount, m.latSum
+	m.mu.Unlock()
+
+	counter := func(name, help string, v func(tenantCounters) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", name, escapeLabel(n), v(snap[n]))
+		}
+	}
+
+	counter("tracestored_ingests_total", "Spill uploads accepted per tenant.",
+		func(c tenantCounters) uint64 { return c.Ingests })
+	counter("tracestored_ingest_events_total", "Events stored per tenant.",
+		func(c tenantCounters) uint64 { return c.IngestEvents })
+	counter("tracestored_ingest_blocks_total", "Blocks stored per tenant.",
+		func(c tenantCounters) uint64 { return c.IngestBlocks })
+	counter("tracestored_ingest_salvaged_total", "Uploads that needed salvage repair per tenant.",
+		func(c tenantCounters) uint64 { return c.IngestSalvage })
+	counter("tracestored_queries_total", "Queries served per tenant.",
+		func(c tenantCounters) uint64 { return c.Queries })
+	counter("tracestored_query_errors_total", "Queries that failed per tenant.",
+		func(c tenantCounters) uint64 { return c.QueryErrors })
+	counter("tracestored_query_gone_total", "Queries that hit a deleted segment (410) per tenant.",
+		func(c tenantCounters) uint64 { return c.QueryGone })
+	counter("tracestored_query_blocks_scanned_total", "Blocks decoded by queries per tenant.",
+		func(c tenantCounters) uint64 { return c.BlocksScanned })
+	counter("tracestored_query_blocks_pruned_total", "Blocks skipped by the index per tenant.",
+		func(c tenantCounters) uint64 { return c.BlocksPruned })
+	counter("tracestored_query_segments_pruned_total", "Whole segments skipped by the catalog per tenant.",
+		func(c tenantCounters) uint64 { return c.SegsPruned })
+	counter("tracestored_compactions_total", "Compaction passes that merged segments per tenant.",
+		func(c tenantCounters) uint64 { return c.Compactions })
+	counter("tracestored_compacted_segments_total", "Segments consumed by compaction per tenant.",
+		func(c tenantCounters) uint64 { return c.CompactedSegs })
+	counter("tracestored_gc_segments_total", "Segments expired by retention per tenant.",
+		func(c tenantCounters) uint64 { return c.GCSegments })
+	counter("tracestored_gc_bytes_total", "Bytes reclaimed by retention per tenant.",
+		func(c tenantCounters) uint64 { return c.GCBytes })
+
+	gauge := func(name, help string, v func(TenantStats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, st := range stats {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", name, escapeLabel(st.Name), v(st))
+		}
+	}
+	gauge("tracestored_segments", "Live segments per tenant.",
+		func(st TenantStats) uint64 { return uint64(st.Segments) })
+	gauge("tracestored_bytes", "Stored segment bytes per tenant.",
+		func(st TenantStats) uint64 { return uint64(st.Bytes) })
+	gauge("tracestored_events", "Stored events per tenant.",
+		func(st TenantStats) uint64 { return st.Events })
+
+	fmt.Fprintf(w, "# HELP tracestored_query_seconds Query latency.\n# TYPE tracestored_query_seconds histogram\n")
+	for i, ub := range queryBuckets {
+		fmt.Fprintf(w, "tracestored_query_seconds_bucket{le=\"%g\"} %d\n", ub, latBuckets[i])
+	}
+	fmt.Fprintf(w, "tracestored_query_seconds_bucket{le=\"+Inf\"} %d\n", latCount)
+	fmt.Fprintf(w, "tracestored_query_seconds_sum %g\n", latSum)
+	fmt.Fprintf(w, "tracestored_query_seconds_count %d\n", latCount)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: inside double quotes only backslash, double-quote, and line
+// feed are escaped.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,426 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"k42trace/internal/analysis"
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+	"k42trace/internal/stream"
+)
+
+// ErrNoTenant reports a query against a tenant that does not exist.
+var ErrNoTenant = errors.New("store: no such tenant")
+
+// Aggs lists the supported agg= values.
+var Aggs = []string{"events", "overview", "lockstat", "profile", "timebreak", "memprofile"}
+
+// Params is one query: a time range, optional predicates, and the
+// aggregation to run over the matching events.
+type Params struct {
+	Tenant string
+	// From and To bound event times as [From, To); To 0 means unbounded.
+	From, To uint64
+	// Major/Minor restrict to one event class (Minor requires Major).
+	HasMajor bool
+	Major    event.Major
+	HasMinor bool
+	Minor    uint16
+	// Pid restricts to events attributed to one process — attribution is
+	// the replayed scheduling state, same as the analysis walker: an event
+	// belongs to the pid scheduled on its CPU when it was logged.
+	HasPid bool
+	Pid    uint64
+	// Agg is one of Aggs ("" = "events"). timebreak requires Pid.
+	Agg string
+	// Limit caps the events listing (0 = unlimited); aggregations ignore it.
+	Limit int
+	// NoPrune disables index pruning (full scan): the bench baseline and
+	// the fuzz invariant that pruned == unpruned.
+	NoPrune bool
+}
+
+// effTo returns the exclusive upper bound with 0 mapped to +inf.
+func (p *Params) effTo() uint64 {
+	if p.To == 0 {
+		return ^uint64(0)
+	}
+	return p.To
+}
+
+// ParseParams parses query parameters (tenant, from, to, major, minor,
+// pid, agg, limit, noprune). Unknown aggs, minors without a major, and
+// malformed numbers are errors — the HTTP 400 path.
+func ParseParams(v url.Values) (Params, error) {
+	var p Params
+	p.Tenant = v.Get("tenant")
+	if p.Tenant == "" {
+		return p, fmt.Errorf("missing tenant parameter")
+	}
+	if !ValidTenant(p.Tenant) {
+		return p, fmt.Errorf("invalid tenant %q", p.Tenant)
+	}
+	var err error
+	if s := v.Get("from"); s != "" {
+		if p.From, err = strconv.ParseUint(s, 0, 64); err != nil {
+			return p, fmt.Errorf("bad from %q", s)
+		}
+	}
+	if s := v.Get("to"); s != "" {
+		if p.To, err = strconv.ParseUint(s, 0, 64); err != nil {
+			return p, fmt.Errorf("bad to %q", s)
+		}
+		if p.To != 0 && p.To <= p.From {
+			return p, fmt.Errorf("empty time range [%d, %d)", p.From, p.To)
+		}
+	}
+	if s := v.Get("major"); s != "" {
+		m, ok := event.ParseMajor(s)
+		if !ok {
+			return p, fmt.Errorf("unknown major %q", s)
+		}
+		p.HasMajor, p.Major = true, m
+	}
+	if s := v.Get("minor"); s != "" {
+		if !p.HasMajor {
+			return p, fmt.Errorf("minor requires major")
+		}
+		n, err := strconv.ParseUint(s, 0, 16)
+		if err != nil {
+			return p, fmt.Errorf("bad minor %q", s)
+		}
+		p.HasMinor, p.Minor = true, uint16(n)
+	}
+	if s := v.Get("pid"); s != "" {
+		if p.Pid, err = strconv.ParseUint(s, 0, 64); err != nil {
+			return p, fmt.Errorf("bad pid %q", s)
+		}
+		p.HasPid = true
+	}
+	p.Agg = v.Get("agg")
+	switch p.Agg {
+	case "", "events":
+		p.Agg = "events"
+	case "overview", "lockstat", "profile", "memprofile":
+	case "timebreak":
+		if !p.HasPid {
+			return p, fmt.Errorf("agg=timebreak requires pid")
+		}
+	default:
+		return p, fmt.Errorf("unknown agg %q", p.Agg)
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad limit %q", s)
+		}
+		p.Limit = n
+	}
+	if s := v.Get("noprune"); s != "" && s != "0" && s != "false" {
+		p.NoPrune = true
+	}
+	return p, nil
+}
+
+// Values renders the params back to url.Values (round-trip for tests and
+// the smoke script).
+func (p Params) Values() url.Values {
+	v := url.Values{}
+	v.Set("tenant", p.Tenant)
+	if p.From != 0 {
+		v.Set("from", strconv.FormatUint(p.From, 10))
+	}
+	if p.To != 0 {
+		v.Set("to", strconv.FormatUint(p.To, 10))
+	}
+	if p.HasMajor {
+		v.Set("major", strconv.Itoa(int(p.Major)))
+	}
+	if p.HasMinor {
+		v.Set("minor", strconv.Itoa(int(p.Minor)))
+	}
+	if p.HasPid {
+		v.Set("pid", strconv.FormatUint(p.Pid, 10))
+	}
+	if p.Agg != "" {
+		v.Set("agg", p.Agg)
+	}
+	if p.Limit != 0 {
+		v.Set("limit", strconv.Itoa(p.Limit))
+	}
+	if p.NoPrune {
+		v.Set("noprune", "1")
+	}
+	return v
+}
+
+// Result is the matching event set plus scan accounting.
+type Result struct {
+	Params Params
+	// Hz is the clock rate used for rendering (the tenant's segments all
+	// share it within one upload; mixed-upload tenants use the first
+	// scanned segment's rate).
+	Hz     uint64
+	Events []event.Event
+
+	SegsTotal     int
+	SegsScanned   int
+	SegsPruned    int
+	BlocksScanned int
+	BlocksPruned  int
+	Elapsed       time.Duration
+}
+
+// Query runs one query: segments overlapping the time range are pinned
+// under the catalog lock, then scanned in parallel outside it — each
+// scan decodes only the blocks whose index summaries survive the
+// predicates. Events return in global (Time, CPU) merge order, the same
+// order stream.ReadAll produces.
+func (s *Store) Query(p Params) (*Result, error) {
+	start := time.Now()
+	res, err := s.query(p)
+	dur := time.Since(start)
+	if res == nil {
+		res = &Result{Params: p}
+	}
+	res.Elapsed = dur
+	s.metrics.query(p.Tenant, dur, res.BlocksScanned, res.BlocksPruned, res.SegsPruned, err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Store) query(p Params) (*Result, error) {
+	t := s.getTenant(p.Tenant)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTenant, p.Tenant)
+	}
+	res := &Result{Params: p}
+	to := p.effTo()
+
+	// Pin the overlapping segments. The catalog lock makes the pin atomic
+	// against swap: a segment is either pinned before it retires (readers
+	// finish; files outlive them) or already gone from the catalog.
+	t.mu.Lock()
+	infos := append([]SegmentInfo(nil), t.man.Segments...)
+	var pinned []*segment
+	for i := range infos {
+		si := &infos[i]
+		if !p.NoPrune && (si.MaxTime < p.From || si.MinTime >= to) {
+			res.SegsPruned++
+			continue
+		}
+		if sg := t.segs[si.ID]; sg != nil {
+			sg.acquire()
+			pinned = append(pinned, sg)
+		}
+	}
+	res.SegsTotal = len(infos)
+	res.SegsScanned = len(pinned)
+	t.mu.Unlock()
+	defer func() {
+		for _, sg := range pinned {
+			sg.release()
+		}
+	}()
+	if len(pinned) == 0 {
+		return res, nil
+	}
+	res.Hz = pinned[0].info.ClockHz
+
+	workers := s.opt.Workers
+	type segResult struct {
+		evs             []event.Event
+		scanned, pruned int
+		err             error
+	}
+	parts := make([]segResult, len(pinned))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, scanParallelism(workers, len(pinned)))
+	for i, sg := range pinned {
+		wg.Add(1)
+		go func(i int, sg *segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr := &parts[i]
+			pr.evs, pr.scanned, pr.pruned, pr.err = scanSegment(sg, p, workers)
+		}(i, sg)
+	}
+	wg.Wait()
+
+	var n int
+	for i := range parts {
+		if parts[i].err != nil {
+			return res, parts[i].err
+		}
+		res.BlocksScanned += parts[i].scanned
+		res.BlocksPruned += parts[i].pruned
+		n += len(parts[i].evs)
+	}
+	// Pinned segments are in (MinTime, ID) order and each part keeps
+	// per-CPU stream order, so a stable (Time, CPU) sort reproduces the
+	// ReadAll merge order.
+	evs := make([]event.Event, 0, n)
+	for i := range parts {
+		evs = append(evs, parts[i].evs...)
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].CPU < evs[j].CPU
+	})
+	res.Events = evs
+	return res, nil
+}
+
+func scanParallelism(workers, n int) int {
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// scanSegment scans one pinned segment: blocks whose summaries cannot
+// match are skipped, survivors are decoded and filtered exactly.
+func scanSegment(sg *segment, p Params, workers int) (evs []event.Event, scanned, pruned int, err error) {
+	rd, fi, err := sg.open(workers)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	to := p.effTo()
+	var bb stream.BlockBuf
+	for k := range fi.Blocks {
+		bs := &fi.Blocks[k]
+		if !p.NoPrune && !blockMayMatch(bs, p, to) {
+			pruned++
+			continue
+		}
+		scanned++
+		h, words, err := rd.ReadBlockInto(k, &bb)
+		if err != nil {
+			return nil, scanned, pruned, err
+		}
+		devs, _ := core.DecodeBuffer(h.CPU, words)
+		evs = appendMatching(evs, devs, bs.EntryPid, p, to)
+	}
+	return evs, scanned, pruned, nil
+}
+
+// blockMayMatch is the pruning predicate: every check is conservative
+// (no false negatives), so pruning never changes results.
+func blockMayMatch(bs *stream.BlockSummary, p Params, to uint64) bool {
+	if !bs.Overlaps(p.From, to) {
+		return false
+	}
+	if p.HasMajor && bs.MajorMask&p.Major.Bit() == 0 {
+		return false
+	}
+	if p.HasMinor && !bs.MinorBloom.MayContain(stream.MinorKey(p.Major, p.Minor)) {
+		return false
+	}
+	if p.HasPid && !bs.PidBloom.MayContain(p.Pid) {
+		return false
+	}
+	return true
+}
+
+// appendMatching applies the exact filter to one block's events. The pid
+// carry starts at the block's recorded entry pid; attribution follows the
+// analysis walker: an event belongs to the pid scheduled before it is
+// applied, so a context switch itself is attributed to the switched-from
+// process.
+func appendMatching(dst, evs []event.Event, entryPid uint64, p Params, to uint64) []event.Event {
+	cur := entryPid
+	for i := range evs {
+		e := &evs[i]
+		if matchEvent(e, cur, p, to) {
+			dst = append(dst, *e)
+		}
+		if e.Major() == event.MajorSched && e.Minor() == ksim.EvSchedSwitch && len(e.Data) >= 2 {
+			cur = e.Data[1]
+		}
+	}
+	return dst
+}
+
+func matchEvent(e *event.Event, curPid uint64, p Params, to uint64) bool {
+	if e.Time < p.From || e.Time >= to {
+		return false
+	}
+	if p.HasMajor && e.Major() != p.Major {
+		return false
+	}
+	if p.HasMinor && e.Minor() != p.Minor {
+		return false
+	}
+	if p.HasPid && curPid != p.Pid {
+		return false
+	}
+	return true
+}
+
+// MatchStream applies the query filter to an already-merged event stream
+// (stream.ReadAll output): the offline baseline the golden corpus and the
+// fuzz invariant compare the store against. Pid attribution replays
+// per-CPU scheduling state from pid 0, exactly as ingest's carry does.
+func MatchStream(evs []event.Event, p Params) []event.Event {
+	to := p.effTo()
+	cur := map[int]uint64{}
+	var out []event.Event
+	for i := range evs {
+		e := &evs[i]
+		if matchEvent(e, cur[e.CPU], p, to) {
+			out = append(out, *e)
+		}
+		if e.Major() == event.MajorSched && e.Minor() == ksim.EvSchedSwitch && len(e.Data) >= 2 {
+			cur[e.CPU] = e.Data[1]
+		}
+	}
+	return out
+}
+
+// Format renders the result: the events listing, or one of the five
+// aggregated reports, built from the matching events with the same
+// analysis code every offline tool uses.
+func (r *Result) Format(w io.Writer, workers int) error {
+	tr := analysis.Build(r.Events, r.Hz, event.Default)
+	switch r.Params.Agg {
+	case "", "events":
+		_, err := tr.List(w, analysis.ListOptions{ShowControl: true, Limit: r.Params.Limit})
+		return err
+	case "overview":
+		return analysis.FormatOverview(w, tr.OverviewParallel(workers))
+	case "lockstat":
+		return tr.LockStatParallel(workers).Format(w, 0)
+	case "profile":
+		pid := ^uint64(0)
+		if r.Params.HasPid {
+			pid = r.Params.Pid
+		}
+		return tr.ProfileParallel(pid, workers).Format(w, 0)
+	case "timebreak":
+		return tr.TimeBreakParallel(r.Params.Pid, workers).Format(w)
+	case "memprofile":
+		return tr.MemProfileParallel(workers).Format(w, 0)
+	}
+	return fmt.Errorf("store: unknown agg %q", r.Params.Agg)
+}
+
+func isGone(err error) bool { return errors.Is(err, ErrGone) }

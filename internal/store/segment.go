@@ -1,0 +1,123 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"k42trace/internal/stream"
+)
+
+// ErrGone reports that a segment was deleted while a query held a
+// reference to its catalog entry — the clean 410 path. With in-process
+// refcounting this only happens when something outside the store removes
+// files underfoot.
+var ErrGone = errors.New("store: segment gone")
+
+// segment is one live segment: its manifest record plus a lazily opened,
+// refcounted view of the file and its index. Queries acquire a reference
+// under the tenant lock and scan without it; compaction and GC drop the
+// segment from the catalog and mark it dying, and the backing files are
+// unlinked only when the last reference is released — readers never see
+// torn bytes.
+type segment struct {
+	info SegmentInfo
+	path string
+
+	mu    sync.Mutex
+	refs  int
+	dying bool
+	f     *os.File
+	rd    *stream.Reader
+	fi    *stream.FullIndex
+}
+
+// acquire takes a read reference. It must be called with the owning
+// tenant's catalog lock held (which is what guarantees the segment is not
+// yet dying).
+func (sg *segment) acquire() {
+	sg.mu.Lock()
+	sg.refs++
+	sg.mu.Unlock()
+}
+
+// release drops a read reference; the last release of a dying segment
+// unlinks its files.
+func (sg *segment) release() {
+	sg.mu.Lock()
+	sg.refs--
+	del := sg.dying && sg.refs == 0
+	if del {
+		sg.closeLocked()
+	}
+	sg.mu.Unlock()
+	if del {
+		sg.unlink()
+	}
+}
+
+// retire marks the segment dying (it has left the catalog); if no reader
+// holds it, the files go now, otherwise the last release takes them.
+func (sg *segment) retire() {
+	sg.mu.Lock()
+	sg.dying = true
+	del := sg.refs == 0
+	if del {
+		sg.closeLocked()
+	}
+	sg.mu.Unlock()
+	if del {
+		sg.unlink()
+	}
+}
+
+func (sg *segment) unlink() {
+	os.Remove(sg.path)
+	os.Remove(stream.IndexSidecarPath(sg.path))
+}
+
+func (sg *segment) closeLocked() {
+	if sg.f != nil {
+		sg.f.Close()
+		sg.f = nil
+		sg.rd = nil
+		sg.fi = nil
+	}
+}
+
+// open returns the segment's reader and index, opening and indexing on
+// first use. The sidecar written at ingest makes the index a single small
+// read; a damaged sidecar rebuilds from the trace, seeded with the
+// manifest's entry pids so pid attribution stays exact.
+func (sg *segment) open(workers int) (*stream.Reader, *stream.FullIndex, error) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if sg.rd != nil {
+		return sg.rd, sg.fi, nil
+	}
+	f, err := os.Open(sg.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("%w: %s", ErrGone, sg.info.File)
+		}
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	rd, err := stream.NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fi, _, err := stream.LoadOrBuildIndex(sg.path, rd, workers, sg.info.EntryPids)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	sg.f, sg.rd, sg.fi = f, rd, fi
+	return rd, fi, nil
+}

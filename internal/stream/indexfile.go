@@ -1,0 +1,428 @@
+// Persisted secondary indexes. BuildIndex gives time anchors, but it is
+// rebuilt from scratch on every open and knows nothing about what is
+// inside a block. This file adds both missing halves:
+//
+//   - FullIndex: per-block summaries (exact event-time bounds, a major
+//     bitmask, and bloom filters over (major,minor) pairs and attributed
+//     pids) that let a query scan only the blocks that could possibly
+//     match its predicates, and
+//   - a versioned, checksummed on-disk sidecar (<trace>.kix) so reopening
+//     a large trace costs one small sequential read instead of a full
+//     header-and-anchor scan; a corrupt or stale sidecar falls back to a
+//     rebuild.
+package stream
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"k42trace/internal/core"
+	"k42trace/internal/event"
+	"k42trace/internal/ksim"
+)
+
+// IndexMagic begins every index sidecar file ("K42TRIX1" little-endian).
+const IndexMagic uint64 = 0x315849525432344B
+
+// IndexVersion is the sidecar format version. Bump it whenever the record
+// layout or the summary semantics change; readers reject other versions
+// and rebuild.
+const IndexVersion = 1
+
+// IndexSidecarSuffix is appended to a trace path to name its sidecar.
+const IndexSidecarSuffix = ".kix"
+
+// IndexSidecarPath returns the sidecar path for a trace file.
+func IndexSidecarPath(tracePath string) string { return tracePath + IndexSidecarSuffix }
+
+// Bloom is a 256-bit bloom filter with two probes — small enough that a
+// per-block array of them stays cheap, selective enough to prune most
+// blocks for point predicates over pids or minors.
+type Bloom [4]uint64
+
+// bloomMix is splitmix64: two independent probe positions are derived from
+// the high and low halves of the mixed key.
+func bloomMix(k uint64) uint64 {
+	k += 0x9e3779b97f4a7c15
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key uint64) {
+	h := bloomMix(key)
+	i, j := h&255, (h>>32)&255
+	b[i>>6] |= 1 << (i & 63)
+	b[j>>6] |= 1 << (j & 63)
+}
+
+// MayContain reports whether key might have been added (no false
+// negatives; false positives only cost pruning effectiveness, never
+// correctness).
+func (b *Bloom) MayContain(key uint64) bool {
+	h := bloomMix(key)
+	i, j := h&255, (h>>32)&255
+	return b[i>>6]&(1<<(i&63)) != 0 && b[j>>6]&(1<<(j&63)) != 0
+}
+
+// MinorKey is the bloom key for a (major, minor) pair.
+func MinorKey(major event.Major, minor uint16) uint64 {
+	return uint64(major)<<16 | uint64(minor)
+}
+
+// AnchorTimeWords is anchorTimeOK over an in-memory payload: the block's
+// start time from its leading clock anchor, or the 32-bit header-stamp
+// fallback (reported as not-anchored) when the anchor was lost. Writers
+// that build a FullIndex for blocks they are about to write use it to
+// fill Start exactly as a from-disk BuildIndex would.
+func AnchorTimeWords(words []uint64) (uint64, bool) {
+	if len(words) == 0 {
+		return 0, false
+	}
+	h := event.Header(words[0])
+	if h.Major() == event.MajorControl && h.Minor() == event.CtrlClockAnchor && h.Len() >= 2 && len(words) >= 2 {
+		return words[1], true
+	}
+	return uint64(h.Timestamp()), false
+}
+
+// BlockSummary is everything a pruned scan needs to know about one block
+// without reading it.
+type BlockSummary struct {
+	CPU int
+	Seq uint64
+	// Start and Flagged mirror the BuildIndex entry for this block (Start
+	// is the clamped anchor time used for seeking).
+	Start   uint64
+	Flagged bool
+	// MinTime and MaxTime bound the decoded event times exactly (both zero
+	// when the block decodes to no events), so time pruning never relies on
+	// possibly-garbled anchors.
+	MinTime, MaxTime uint64
+	// Events is the decoded event count.
+	Events uint32
+	// EntryPid is the scheduled pid on this CPU when the block begins —
+	// the carry state a pid-predicate scan needs to attribute events
+	// logged before the block's first SCHED_SWITCH.
+	EntryPid uint64
+	// MajorMask has bit m set iff some event of major m is in the block.
+	MajorMask uint64
+	// PidBloom holds every pid an event in the block can be attributed to
+	// (EntryPid plus all switch targets); MinorBloom holds MinorKey of
+	// every event.
+	PidBloom, MinorBloom Bloom
+}
+
+// Overlaps reports whether the block can contain events in [from, to).
+func (bs *BlockSummary) Overlaps(from, to uint64) bool {
+	return bs.Events > 0 && bs.MaxTime >= from && bs.MinTime < to
+}
+
+// FullIndex is a per-block summary index over one trace file, in file
+// order. It subsumes Index (which it can reconstruct) and adds the
+// predicate summaries a query planner prunes with.
+type FullIndex struct {
+	Meta   Meta
+	Blocks []BlockSummary
+}
+
+// Index reconstructs the per-CPU time index BuildIndex would return.
+func (fi *FullIndex) Index() *Index {
+	ix := &Index{PerCPU: make([][]IndexEntry, fi.Meta.CPUs)}
+	for k := range fi.Blocks {
+		bs := &fi.Blocks[k]
+		if bs.CPU < 0 || bs.CPU >= fi.Meta.CPUs {
+			continue
+		}
+		ix.PerCPU[bs.CPU] = append(ix.PerCPU[bs.CPU], IndexEntry{
+			Block: k, Seq: bs.Seq, Start: bs.Start, Flagged: bs.Flagged,
+		})
+	}
+	return ix
+}
+
+// EntryPids returns the per-CPU scheduled pid at the file's first block of
+// each CPU — the seed a later file in the same logical stream would pass
+// to BuildFullIndex. CPUs with no blocks report pid 0.
+func (fi *FullIndex) EntryPids() []uint64 {
+	out := make([]uint64, fi.Meta.CPUs)
+	seen := make([]bool, fi.Meta.CPUs)
+	for k := range fi.Blocks {
+		bs := &fi.Blocks[k]
+		if bs.CPU >= 0 && bs.CPU < fi.Meta.CPUs && !seen[bs.CPU] {
+			out[bs.CPU] = bs.EntryPid
+			seen[bs.CPU] = true
+		}
+	}
+	return out
+}
+
+// SummarizeEvents folds one block's decoded events into a summary:
+// min/max time, majors, minors, and attributed pids starting from
+// entryPid. It returns the pid scheduled after the block (the next
+// block's entry pid). Exposed so writers that already hold decoded
+// events (a store ingesting a spill) can build a FullIndex without
+// re-reading what they just wrote.
+func SummarizeEvents(bs *BlockSummary, evs []event.Event, entryPid uint64) (nextPid uint64) {
+	bs.EntryPid = entryPid
+	bs.Events = uint32(len(evs))
+	bs.PidBloom.Add(entryPid)
+	cur := entryPid
+	for i := range evs {
+		e := &evs[i]
+		if i == 0 || e.Time < bs.MinTime {
+			bs.MinTime = e.Time
+		}
+		if e.Time > bs.MaxTime {
+			bs.MaxTime = e.Time
+		}
+		bs.MajorMask |= e.Major().Bit()
+		bs.MinorBloom.Add(MinorKey(e.Major(), e.Minor()))
+		if e.Major() == event.MajorSched && e.Minor() == ksim.EvSchedSwitch && len(e.Data) >= 2 {
+			cur = e.Data[1]
+			bs.PidBloom.Add(cur)
+		}
+	}
+	return cur
+}
+
+// BuildFullIndex decodes every block (fanning over up to `workers`
+// goroutines; <= 0 means GOMAXPROCS) and returns the full per-block
+// summary index. entrySeed, when non-nil, gives the scheduled pid per CPU
+// at the start of the file — non-zero when this file continues an earlier
+// stream, as a store segment continues its upload. The per-CPU entry-pid
+// carry runs over blocks in file order, which for files written per CPU in
+// sequence order (Writer output, SalvageTo output, store segments) is
+// stream order.
+func (rd *Reader) BuildFullIndex(workers int, entrySeed []uint64) (*FullIndex, error) {
+	ix, err := rd.BuildIndex()
+	if err != nil {
+		return nil, err
+	}
+	fi := &FullIndex{Meta: rd.meta, Blocks: make([]BlockSummary, rd.nBlk)}
+	for cpu, entries := range ix.PerCPU {
+		for _, e := range entries {
+			fi.Blocks[e.Block] = BlockSummary{CPU: cpu, Seq: e.Seq, Start: e.Start, Flagged: e.Flagged}
+		}
+	}
+
+	// Pass 1 (parallel): decode each block, recording its events and
+	// last-switch pid; summaries that need no carry are filled here.
+	type decoded struct {
+		evs []event.Event
+		err error
+	}
+	results := make([]decoded, rd.nBlk)
+	decode := func(k int, bb *BlockBuf) {
+		h, words, err := rd.ReadBlockInto(k, bb)
+		if err != nil {
+			results[k].err = err
+			return
+		}
+		evs, _ := core.DecodeBuffer(h.CPU, words)
+		results[k].evs = evs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rd.nBlk {
+		workers = rd.nBlk
+	}
+	if workers <= 1 {
+		var bb BlockBuf
+		for k := 0; k < rd.nBlk; k++ {
+			decode(k, &bb)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var bb BlockBuf
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= rd.nBlk {
+						return
+					}
+					decode(k, &bb)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Pass 2 (sequential): per-CPU entry-pid carry in file order.
+	carry := make([]uint64, rd.meta.CPUs)
+	copy(carry, entrySeed)
+	for k := 0; k < rd.nBlk; k++ {
+		if results[k].err != nil {
+			return nil, results[k].err
+		}
+		bs := &fi.Blocks[k]
+		carry[bs.CPU] = SummarizeEvents(bs, results[k].evs, carry[bs.CPU])
+	}
+	return fi, nil
+}
+
+// Sidecar layout (little-endian 64-bit words):
+//
+//	0 magic  1 version  2 checksum(FNV-64a of words[3:])
+//	3 bufWords  4 cpus  5 clockHz  6 nBlocks  7 reserved
+//	then nBlocks records of blockRecWords words each.
+const (
+	idxHdrWords   = 8
+	blockRecWords = 16
+)
+
+// EncodeIndex serializes a FullIndex to sidecar bytes.
+func EncodeIndex(fi *FullIndex) []byte {
+	b := make([]byte, (idxHdrWords+blockRecWords*len(fi.Blocks))*8)
+	putWord(b, 0, IndexMagic)
+	putWord(b, 1, IndexVersion)
+	putWord(b, 3, uint64(fi.Meta.BufWords))
+	putWord(b, 4, uint64(fi.Meta.CPUs))
+	putWord(b, 5, fi.Meta.ClockHz)
+	putWord(b, 6, uint64(len(fi.Blocks)))
+	for k := range fi.Blocks {
+		bs := &fi.Blocks[k]
+		w := idxHdrWords + k*blockRecWords
+		var flags uint64
+		if bs.Flagged {
+			flags = 1
+		}
+		putWord(b, w+0, uint64(uint32(bs.CPU))|flags<<32)
+		putWord(b, w+1, bs.Seq)
+		putWord(b, w+2, bs.Start)
+		putWord(b, w+3, bs.MinTime)
+		putWord(b, w+4, bs.MaxTime)
+		putWord(b, w+5, uint64(bs.Events))
+		putWord(b, w+6, bs.EntryPid)
+		putWord(b, w+7, bs.MajorMask)
+		for i := 0; i < 4; i++ {
+			putWord(b, w+8+i, bs.PidBloom[i])
+			putWord(b, w+12+i, bs.MinorBloom[i])
+		}
+	}
+	putWord(b, 2, idxChecksum(b))
+	return b
+}
+
+// idxChecksum is FNV-64a over everything after the checksum word.
+func idxChecksum(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b[3*8:] {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// DecodeIndex parses and verifies sidecar bytes. Any structural problem —
+// wrong magic, other version, checksum mismatch, truncation — is an
+// error; callers fall back to BuildFullIndex.
+func DecodeIndex(b []byte) (*FullIndex, error) {
+	if len(b) < idxHdrWords*8 {
+		return nil, fmt.Errorf("stream: index sidecar too short (%d bytes)", len(b))
+	}
+	if getWord(b, 0) != IndexMagic {
+		return nil, fmt.Errorf("stream: bad index magic %#x", getWord(b, 0))
+	}
+	if v := getWord(b, 1); v != IndexVersion {
+		return nil, fmt.Errorf("stream: unsupported index version %d", v)
+	}
+	if got, want := idxChecksum(b), getWord(b, 2); got != want {
+		return nil, fmt.Errorf("stream: index checksum mismatch (%#x != %#x)", got, want)
+	}
+	meta := Meta{
+		BufWords: int(getWord(b, 3)),
+		CPUs:     int(getWord(b, 4)),
+		ClockHz:  getWord(b, 5),
+	}
+	if err := meta.check(); err != nil {
+		return nil, err
+	}
+	n := int(getWord(b, 6))
+	if n < 0 || len(b) != (idxHdrWords+blockRecWords*n)*8 {
+		return nil, fmt.Errorf("stream: index sidecar claims %d blocks, has %d bytes", n, len(b))
+	}
+	fi := &FullIndex{Meta: meta, Blocks: make([]BlockSummary, n)}
+	for k := 0; k < n; k++ {
+		w := idxHdrWords + k*blockRecWords
+		bs := &fi.Blocks[k]
+		w0 := getWord(b, w+0)
+		bs.CPU = int(uint32(w0))
+		bs.Flagged = w0>>32&1 != 0
+		bs.Seq = getWord(b, w+1)
+		bs.Start = getWord(b, w+2)
+		bs.MinTime = getWord(b, w+3)
+		bs.MaxTime = getWord(b, w+4)
+		bs.Events = uint32(getWord(b, w+5))
+		bs.EntryPid = getWord(b, w+6)
+		bs.MajorMask = getWord(b, w+7)
+		for i := 0; i < 4; i++ {
+			bs.PidBloom[i] = getWord(b, w+8+i)
+			bs.MinorBloom[i] = getWord(b, w+12+i)
+		}
+		if bs.CPU >= meta.CPUs {
+			return nil, fmt.Errorf("stream: index block %d claims CPU %d >= %d", k, bs.CPU, meta.CPUs)
+		}
+	}
+	return fi, nil
+}
+
+// SaveIndex writes the sidecar atomically (tmp + rename), so a crashed
+// writer leaves either the old sidecar or none — never a torn one.
+func SaveIndex(path string, fi *FullIndex) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeIndex(fi), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadIndex reads and verifies a sidecar, additionally checking that it
+// describes a trace with the given metadata and block count (a sidecar
+// left behind by an overwritten trace file must not be believed).
+func LoadIndex(path string, meta Meta, nBlocks int) (*FullIndex, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := DecodeIndex(b)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Meta != meta || len(fi.Blocks) != nBlocks {
+		return nil, fmt.Errorf("stream: index sidecar describes %+v/%d blocks, trace is %+v/%d",
+			fi.Meta, len(fi.Blocks), meta, nBlocks)
+	}
+	return fi, nil
+}
+
+// LoadOrBuildIndex returns the trace's FullIndex, from the <trace>.kix
+// sidecar when one is present, verified, and matches the open reader —
+// otherwise it rebuilds from the trace (seeding the pid carry with
+// entrySeed) and best-effort rewrites the sidecar for the next open.
+// fromSidecar reports which path was taken.
+func LoadOrBuildIndex(tracePath string, rd *Reader, workers int, entrySeed []uint64) (fi *FullIndex, fromSidecar bool, err error) {
+	side := IndexSidecarPath(tracePath)
+	if fi, err := LoadIndex(side, rd.Meta(), rd.NumBlocks()); err == nil {
+		return fi, true, nil
+	}
+	fi, err = rd.BuildFullIndex(workers, entrySeed)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = SaveIndex(side, fi) // best-effort: a read-only dir just means a rebuild next time
+	return fi, false, nil
+}

@@ -1,0 +1,209 @@
+package ktrace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"k42trace/internal/event"
+	"k42trace/internal/sdet"
+	"k42trace/internal/store"
+	"k42trace/internal/stream"
+)
+
+const storeCorpusDir = "testdata/corpus/store"
+
+// goldenDigestAbove: full event listings run to megabytes; above this
+// size the golden pins a digest of the exact bytes instead of the bytes
+// themselves. Any single-byte change in the response still fails.
+const goldenDigestAbove = 64 << 10
+
+func goldenForm(s string) string {
+	if len(s) <= goldenDigestAbove {
+		return s
+	}
+	return fmt.Sprintf("sha256:%x bytes:%d lines:%d\n",
+		sha256.Sum256([]byte(s)), len(s), strings.Count(s, "\n"))
+}
+
+// buildStoreCorpusSources generates the two tenant spills: distinct seeds
+// so the tenants hold different streams and isolation failures would show
+// up as golden diffs.
+func buildStoreCorpusSources(t testing.TB) (acme, globex []byte) {
+	t.Helper()
+	var a, g bytes.Buffer
+	if _, err := sdet.Run(sdet.Config{CPUs: 4, Trace: sdet.TraceOn,
+		Params: sdet.Params{ScriptsPerCPU: 10, CommandsPerScript: 12, Seed: 11},
+		Sample: 10_000, HWCSample: 12_000}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdet.Run(sdet.Config{CPUs: 2, Trace: sdet.TraceOn,
+		Params: sdet.Params{ScriptsPerCPU: 10, CommandsPerScript: 12, Threads: true, Seed: 12},
+		Sample: 12_000}, &g); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), g.Bytes()
+}
+
+func readSpill(t testing.TB, data []byte) ([]event.Event, stream.Meta) {
+	t.Helper()
+	rd, err := stream.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs, rd.Meta()
+}
+
+// storeCorpusQueries pins the query surface: ranges and predicates over
+// the event listing plus every aggregation form. Times are quartiles of
+// the tenant's own stream, so the corpus is a pure function of the spills.
+func storeCorpusQueries(tenant string, evs []event.Event) map[string]store.Params {
+	lo, hi := evs[0].Time, evs[len(evs)-1].Time
+	q1, q3 := lo+(hi-lo)/4, lo+3*(hi-lo)/4
+	return map[string]store.Params{
+		"events-all":       {Tenant: tenant},
+		"events-mid":       {Tenant: tenant, From: q1, To: q3},
+		"events-sched":     {Tenant: tenant, HasMajor: true, Major: event.MajorSched},
+		"events-lock-mid":  {Tenant: tenant, From: q1, To: q3, HasMajor: true, Major: event.MajorLock},
+		"events-pid2":      {Tenant: tenant, HasPid: true, Pid: 2},
+		"events-limit":     {Tenant: tenant, Limit: 50},
+		"agg-overview":     {Tenant: tenant, Agg: "overview"},
+		"agg-lockstat":     {Tenant: tenant, Agg: "lockstat"},
+		"agg-profile":      {Tenant: tenant, Agg: "profile"},
+		"agg-timebreak":    {Tenant: tenant, Agg: "timebreak", HasPid: true, Pid: 1},
+		"agg-memprofile":   {Tenant: tenant, Agg: "memprofile", From: q1},
+		"agg-overview-mid": {Tenant: tenant, From: q1, To: q3, Agg: "overview"},
+	}
+}
+
+// TestGoldenStoreCorpus pins the whole store query path byte-for-byte: a
+// two-tenant store is rebuilt from the checked-in spills, every pinned
+// query runs at 1 and 8 scan workers, the formatted responses must agree
+// exactly, match the checked-in goldens, and — for event listings — match
+// the offline filter of the source spill rendered through the same
+// formatter. Run with -update to regenerate spills and goldens together.
+func TestGoldenStoreCorpus(t *testing.T) {
+	if *updateCorpus {
+		if err := os.MkdirAll(storeCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		acme, globex := buildStoreCorpusSources(t)
+		for name, data := range map[string][]byte{
+			"acme.ktr":   acme,
+			"globex.ktr": globex,
+		} {
+			if err := os.WriteFile(filepath.Join(storeCorpusDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	spills, err := filepath.Glob(filepath.Join(storeCorpusDir, "*.ktr"))
+	if err != nil || len(spills) == 0 {
+		t.Fatalf("no store corpus spills in %s (run go test . -update): %v", storeCorpusDir, err)
+	}
+
+	// Rebuild the store from the spills with a pinned clock and a span that
+	// forces a multi-segment split, so index pruning is actually exercised.
+	type tenantSrc struct {
+		name string
+		evs  []event.Event
+		meta stream.Meta
+	}
+	var srcs []tenantSrc
+	var span uint64
+	for _, path := range spills {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, meta := readSpill(t, data)
+		name := strings.TrimSuffix(filepath.Base(path), ".ktr")
+		srcs = append(srcs, tenantSrc{name, evs, meta})
+		if w := (evs[len(evs)-1].Time - evs[0].Time) / 7; span == 0 || w < span {
+			span = w
+		}
+	}
+	fixed := time.Unix(1_700_000_000, 0)
+	s, err := store.Open(store.Options{
+		Root:        t.TempDir(),
+		SegmentSpan: span,
+		Now:         func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, path := range spills {
+		res, err := s.IngestFile(srcs[i].name, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Segments) < 2 {
+			t.Fatalf("tenant %s landed in %d segment(s); span too wide to exercise pruning",
+				srcs[i].name, len(res.Segments))
+		}
+	}
+
+	for _, src := range srcs {
+		for qname, p := range storeCorpusQueries(src.name, src.evs) {
+			t.Run(src.name+"/"+qname, func(t *testing.T) {
+				var base string
+				for i, w := range corpusWorkerCounts {
+					r, err := s.Query(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var out strings.Builder
+					if err := r.Format(&out, w); err != nil {
+						t.Fatal(err)
+					}
+					if i == 0 {
+						base = out.String()
+						continue
+					}
+					if out.String() != base {
+						t.Errorf("workers=%d: response differs from workers=%d",
+							w, corpusWorkerCounts[0])
+					}
+				}
+				// Event listings must equal the offline filter of the source
+				// spill rendered through the same formatter.
+				if p.Agg == "" || p.Agg == "events" {
+					off := &store.Result{Params: p, Hz: src.meta.ClockHz,
+						Events: store.MatchStream(src.evs, p)}
+					var want strings.Builder
+					if err := off.Format(&want, 1); err != nil {
+						t.Fatal(err)
+					}
+					if base != want.String() {
+						t.Errorf("store response diverges from filtered ReadAll of %s.ktr", src.name)
+					}
+				}
+				golden := filepath.Join(storeCorpusDir, fmt.Sprintf("%s.%s.golden", src.name, qname))
+				pinned := goldenForm(base)
+				if *updateCorpus {
+					if err := os.WriteFile(golden, []byte(pinned), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("golden missing (run go test . -update): %v", err)
+				}
+				if pinned != string(want) {
+					t.Errorf("response diverged from %s", golden)
+				}
+			})
+		}
+	}
+}
