@@ -1,0 +1,66 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+// Throwaway repro: two concurrent Compact passes on the same tenant.
+func TestConcurrentCompactDuplicates(t *testing.T) {
+	data := sdetSmall(t, 7)
+	base, _ := readAllEvents(t, data)
+	e := uint64(len(base))
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	s := openStore(t, Options{SegmentSpan: (hi - lo) / 3, Workers: 2})
+	ingestBytes(t, s, "x", data)
+
+	r0, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("before: %d events (upload size %d)", len(r0.Events), e)
+
+	// Pause the first compaction at the pre-swap killpoint until the second
+	// pass has picked the same run and finished.
+	var once sync.Once
+	gate := make(chan struct{})
+	second := make(chan struct{})
+	compactKill = func(stage string) {
+		if stage != "compact-before-swap" {
+			return
+		}
+		once.Do(func() {
+			close(gate)
+			<-second
+		})
+	}
+	defer func() { compactKill = nil }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Compact("x"); err != nil {
+			t.Errorf("compact A: %v", err)
+		}
+	}()
+	<-gate
+	go func() {
+		// second pass runs to completion while A is parked pre-swap
+		defer close(second)
+		if _, err := s.Compact("x"); err != nil {
+			t.Errorf("compact B: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	r1, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("after: %d events", len(r1.Events))
+	if len(r1.Events) != len(r0.Events) {
+		t.Fatalf("concurrent compaction changed event count: %d -> %d", len(r0.Events), len(r1.Events))
+	}
+}
