@@ -6,7 +6,7 @@ RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/ana
 FUZZTIME ?= 30s
 
 # Where `make bench` writes its machine-readable results.
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 
 .PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke store-smoke
 
@@ -70,7 +70,9 @@ fed-smoke:
 	./scripts/fed_smoke.sh
 
 # End-to-end trace-store smoke: tracestored + HTTP/watch-dir ingest +
-# queries and aggregations + event-conserving compaction + byte-budget GC
-# + tracecheck on every stored segment + the tracecolld -store handoff.
+# queries and aggregations + cursor pagination vs the unpaginated listing
+# + segment-cache hits + admission-control 429s + event-conserving
+# compaction + byte-budget GC + tracecheck on every stored segment + the
+# tracecolld -store handoff.
 store-smoke:
 	./scripts/store_smoke.sh

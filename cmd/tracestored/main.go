@@ -11,7 +11,7 @@
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /tenants                 per-tenant catalog summary
 //	POST /ingest?tenant=T         upload one .ktr spill (body = file)
-//	GET  /query?tenant=T&from=&to=&major=&minor=&pid=&agg=&limit=
+//	GET  /query?tenant=T&from=&to=&major=&minor=&pid=&agg=&limit=&cursor=
 //	POST /admin/compact[?tenant=T]
 //	POST /admin/gc[?tenant=T]
 //
@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -57,11 +58,23 @@ func main() {
 	compactEvery := flag.Duration("compact-every", 0, "compaction period (0 = only on /admin/compact)")
 	gcEvery := flag.Duration("gc-every", 0, "retention period (0 = only on /admin/gc)")
 	jobs := flag.Int("j", 0, "decode/scan workers (0 = all cores)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "segment query result cache budget (0 = disabled)")
+	queryConc := flag.Int("query-concurrency", 0, "global concurrent query limit (0 = admission control off)")
+	tenantQueries := flag.Int("tenant-queries", 0, "per-tenant concurrent query limit (0 = query-concurrency)")
+	tenantQueue := flag.Int("tenant-queue", 8, "per-tenant query wait-queue depth; overflow is refused with 429")
 	flag.Parse()
 	if *root == "" {
 		fmt.Fprintln(os.Stderr, "usage: tracestored -root DIR [-http ADDR] [-watch DIR] [-relay ADDR]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *queryConc == 0 && *tenantQueries > 0 {
+		// A per-tenant cap alone still needs a pool to draw from: size the
+		// global pool to the scan parallelism the box can actually deliver.
+		*queryConc = 2 * runtime.GOMAXPROCS(0)
+		if *queryConc < *tenantQueries {
+			*queryConc = *tenantQueries
+		}
 	}
 
 	s, err := store.Open(store.Options{
@@ -71,6 +84,12 @@ func main() {
 		RetainAge:       *retainAge,
 		RetainBytes:     *retainBytes,
 		Workers:         *jobs,
+		CacheBytes:      *cacheBytes,
+		Admission: store.AdmissionOptions{
+			MaxConcurrent: *queryConc,
+			TenantMax:     *tenantQueries,
+			TenantQueue:   *tenantQueue,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracestored:", err)

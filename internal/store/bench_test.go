@@ -15,10 +15,16 @@ import (
 
 // benchFixture: one tenant split across segments, plus a narrow query
 // whose answer lives in a small slice of them — the case index pruning
-// exists for.
+// exists for. Three stores share the ingested directory read-only: the
+// plain one keeps the indexed/fullscan rows comparable across revisions,
+// the cached one adds the segment result cache, and the admitted one
+// adds admission control on top of the cache (its delta against
+// warmcache is the admission overhead).
 type benchFixture struct {
-	s      *Store
-	narrow Params
+	s        *Store
+	cached   *Store
+	admitted *Store
+	narrow   Params
 }
 
 var (
@@ -62,8 +68,22 @@ func getBenchFixture(b *testing.B) *benchFixture {
 			benchErr = err
 			return
 		}
+		cached, err := Open(Options{Root: dir, SegmentSpan: (hi - lo) / 11,
+			CacheBytes: 256 << 20})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		admitted, err := Open(Options{Root: dir, SegmentSpan: (hi - lo) / 11,
+			CacheBytes: 256 << 20,
+			Admission: AdmissionOptions{MaxConcurrent: 16, TenantMax: 16,
+				TenantQueue: 1 << 20}})
+		if err != nil {
+			benchErr = err
+			return
+		}
 		q1 := lo + (hi-lo)*5/11
-		benchFix = &benchFixture{s: s, narrow: Params{
+		benchFix = &benchFixture{s: s, cached: cached, admitted: admitted, narrow: Params{
 			Tenant: "bench",
 			From:   q1, To: q1 + (hi-lo)/11,
 			HasMajor: true, Major: event.MajorSched,
@@ -78,17 +98,33 @@ func getBenchFixture(b *testing.B) *benchFixture {
 // BenchmarkStoreQuery measures query latency with index pruning (the
 // sidecar skips non-matching segments and blocks) against brute-force
 // full scans, at 1, 16, and 64 concurrent in-flight queries — the
-// EXPERIMENTS.md table comes from these rows.
+// EXPERIMENTS.md table comes from these rows. The warmcache rows rerun
+// the indexed query against a store whose segment cache is pre-warmed
+// (scans are answered from cached partials instead of block decodes);
+// the admitted rows add the admission semaphore on top, so their delta
+// against warmcache is the queueing overhead under contention.
 func BenchmarkStoreQuery(b *testing.B) {
 	fix := getBenchFixture(b)
 	for _, mode := range []struct {
 		name    string
+		s       *Store
 		noPrune bool
-	}{{"indexed", false}, {"fullscan", true}} {
+	}{
+		{"indexed", fix.s, false},
+		{"fullscan", fix.s, true},
+		{"warmcache", fix.cached, false},
+		{"admitted", fix.admitted, false},
+	} {
 		for _, conc := range []int{1, 16, 64} {
 			b.Run(fmt.Sprintf("%s/c%d", mode.name, conc), func(b *testing.B) {
 				p := fix.narrow
 				p.NoPrune = mode.noPrune
+				if mode.s.cache.enabled() {
+					// Warm the cache so every timed iteration hits.
+					if _, err := mode.s.Query(p); err != nil {
+						b.Fatal(err)
+					}
+				}
 				var evTotal atomic.Int64
 				b.ResetTimer()
 				var done atomic.Int64
@@ -98,7 +134,7 @@ func BenchmarkStoreQuery(b *testing.B) {
 					go func() {
 						defer wg.Done()
 						for done.Add(1) <= int64(b.N) {
-							r, err := fix.s.Query(p)
+							r, err := mode.s.Query(p)
 							if err != nil {
 								b.Error(err)
 								return

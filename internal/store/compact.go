@@ -40,6 +40,12 @@ func (s *Store) Compact(tenantName string) (*CompactResult, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoTenant, tenantName)
 	}
+	// One maintenance pass at a time per tenant: a concurrent pass would
+	// pick the same run and commit the merge twice (every event in the run
+	// duplicated), and compaction racing GC could re-add segments GC just
+	// expired, busting the retention budget.
+	t.maint.Lock()
+	defer t.maint.Unlock()
 	res := &CompactResult{Tenant: tenantName}
 	for {
 		merged, in, events, err := s.compactOne(t)

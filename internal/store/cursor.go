@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"k42trace/internal/event"
+)
+
+// The cursor protocol lets dashboards stream a huge agg=events listing in
+// pages instead of holding one giant response: pass limit=N, read the
+// X-Next-Cursor response header, and repeat with cursor=<token> until the
+// header is empty. Concatenating the pages is byte-identical to the
+// unpaginated listing.
+//
+// The token encodes a resume *position* in the merged (Time, CPU) event
+// order — the last emitted event's time and CPU plus how many events with
+// exactly that (Time, CPU) have been emitted — not a segment/block
+// address. Positions survive maintenance: compaction conserves events and
+// per-CPU order, so the same position resolves to the same next event
+// even after the segments holding it were merged away. A later page also
+// re-enters the query with From raised to the cursor time, so index
+// pruning (and the segment cache) skips everything already emitted.
+
+// cursor is a decoded pagination token.
+type cursor struct {
+	time uint64 // Time of the last emitted event
+	cpu  int    // CPU of the last emitted event
+	seen uint64 // events with exactly (time, cpu) already emitted
+}
+
+const cursorPrefix = "k1."
+
+// encodeCursor renders the opaque token.
+func encodeCursor(c cursor) string {
+	raw := fmt.Sprintf("%d:%d:%d", c.time, c.cpu, c.seen)
+	return cursorPrefix + base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses a token; any malformation is an error (the HTTP 400
+// path — cursors are opaque, clients must not synthesize them).
+func decodeCursor(s string) (cursor, error) {
+	var c cursor
+	if len(s) < len(cursorPrefix) || s[:len(cursorPrefix)] != cursorPrefix {
+		return c, fmt.Errorf("unknown cursor version")
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s[len(cursorPrefix):])
+	if err != nil {
+		return c, fmt.Errorf("undecodable cursor")
+	}
+	if _, err := fmt.Sscanf(string(raw), "%d:%d:%d", &c.time, &c.cpu, &c.seen); err != nil {
+		return c, fmt.Errorf("malformed cursor")
+	}
+	if c.cpu < 0 {
+		return c, fmt.Errorf("malformed cursor")
+	}
+	return c, nil
+}
+
+// applyCursor drops the prefix of the merged, filtered event stream that
+// earlier pages already emitted: events ordered before the position, and
+// the first seen events at exactly the position's (Time, CPU).
+func applyCursor(evs []event.Event, c cursor) []event.Event {
+	skipped := uint64(0)
+	for i := range evs {
+		e := &evs[i]
+		if e.Time < c.time || (e.Time == c.time && e.CPU < c.cpu) {
+			continue
+		}
+		if e.Time == c.time && e.CPU == c.cpu && skipped < c.seen {
+			skipped++
+			continue
+		}
+		return evs[i:]
+	}
+	return nil
+}
+
+// nextCursor computes the token for the page after this one. prev is the
+// cursor this page resumed from (nil for the first page): when the page's
+// tail continues the same (Time, CPU) run the previous pages were in, the
+// seen count accumulates across them.
+func nextCursor(page []event.Event, prev *cursor) cursor {
+	last := &page[len(page)-1]
+	c := cursor{time: last.Time, cpu: last.CPU}
+	for i := len(page) - 1; i >= 0 && page[i].Time == last.Time && page[i].CPU == last.CPU; i-- {
+		c.seen++
+	}
+	if prev != nil && prev.time == last.Time && prev.cpu == last.CPU {
+		c.seen += prev.seen
+	}
+	return c
+}

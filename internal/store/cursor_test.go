@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"net/url"
+	"testing"
+
+	"k42trace/internal/event"
+)
+
+// TestCursorTokenRoundTrip pins the token format: encode/decode is the
+// identity, and every malformation is rejected (cursors are opaque;
+// clients must never synthesize one).
+func TestCursorTokenRoundTrip(t *testing.T) {
+	for _, c := range []cursor{
+		{},
+		{time: 1, cpu: 0, seen: 0},
+		{time: ^uint64(0), cpu: 255, seen: 12345},
+	} {
+		got, err := decodeCursor(encodeCursor(c))
+		if err != nil {
+			t.Fatalf("round-trip %+v: %v", c, err)
+		}
+		if got != c {
+			t.Fatalf("round-trip changed cursor: %+v -> %+v", c, got)
+		}
+	}
+	for _, bad := range []string{
+		"", "k1", "k2.MTowOjA", "k1.!!!!", "k1.", "k1.aGVsbG8", "k1.MTowOi0x",
+	} {
+		if _, err := decodeCursor(bad); err == nil {
+			t.Fatalf("decodeCursor(%q) accepted garbage", bad)
+		}
+	}
+	// The parser surfaces the same rejection as HTTP 400, and refuses
+	// cursors on aggregations.
+	if _, err := ParseParams(url.Values{"tenant": {"acme"}, "cursor": {"junk"}}); err == nil {
+		t.Fatal("ParseParams accepted a malformed cursor")
+	}
+	if _, err := ParseParams(url.Values{"tenant": {"acme"}, "agg": {"overview"},
+		"cursor": {encodeCursor(cursor{time: 5})}}); err == nil {
+		t.Fatal("ParseParams accepted a cursor on an aggregation")
+	}
+}
+
+// walkPages pages through an agg=events query and returns the
+// concatenated events and rendered bytes, plus the page count. onPage
+// runs between pages (pagination must tolerate maintenance mid-walk).
+func walkPages(t *testing.T, s *Store, p Params, limit int, onPage func(page int)) ([]event.Event, []byte, int) {
+	t.Helper()
+	p.Agg, p.Limit, p.Cursor = "events", limit, ""
+	var evs []event.Event
+	var buf bytes.Buffer
+	pages := 0
+	for {
+		r, err := s.Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Events) > limit {
+			t.Fatalf("page %d holds %d events, limit is %d", pages, len(r.Events), limit)
+		}
+		evs = append(evs, r.Events...)
+		if err := r.Format(&buf, 2); err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if pages > 100000 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		if onPage != nil {
+			onPage(pages)
+		}
+		if r.NextCursor == "" {
+			return evs, buf.Bytes(), pages
+		}
+		p.Cursor = r.NextCursor
+	}
+}
+
+// TestCursorPagination is the pagination contract: walking an events
+// listing page by page and concatenating the pages is byte-identical to
+// the unpaginated listing — same events, same rendered text — for full
+// and predicated queries, at page sizes that do and do not divide the
+// result evenly.
+func TestCursorPagination(t *testing.T) {
+	data := sdetSpill(t, 42)
+	base, _ := readAllEvents(t, data)
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	s := openStore(t, Options{SegmentSpan: (hi - lo) / 7, Workers: 2, CacheBytes: 32 << 20})
+	ingestBytes(t, s, "acme", data)
+
+	queries := []Params{
+		{Tenant: "acme"},
+		{Tenant: "acme", HasMajor: true, Major: event.MajorSched},
+		{Tenant: "acme", From: lo + (hi-lo)/4, To: lo + 3*(hi-lo)/4},
+	}
+	for _, p := range queries {
+		p.Agg = "events"
+		full, err := s.Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.NextCursor != "" {
+			t.Fatalf("%v: unpaginated query produced a cursor", p.Values().Encode())
+		}
+		var fullTxt bytes.Buffer
+		if err := full.Format(&fullTxt, 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{137, 1000, len(full.Events) + 1} {
+			evs, txt, pages := walkPages(t, s, p, limit, nil)
+			if !sameEvents(evs, full.Events) {
+				t.Fatalf("%v limit=%d: paginated walk diverged (%d vs %d events)",
+					p.Values().Encode(), limit, len(evs), len(full.Events))
+			}
+			if !bytes.Equal(txt, fullTxt.Bytes()) {
+				t.Fatalf("%v limit=%d: concatenated pages are not byte-identical to the full listing",
+					p.Values().Encode(), limit)
+			}
+			if wantPages := (len(full.Events) + limit - 1) / limit; limit <= len(full.Events) && pages < wantPages {
+				t.Fatalf("%v limit=%d: %d pages for %d events", p.Values().Encode(), limit, pages, len(full.Events))
+			}
+		}
+	}
+}
+
+// TestCursorSurvivesCompaction: a cursor is a position, not a segment
+// address — compacting the store mid-walk (which retires and replaces
+// the segments the cursor was minted against) must not change what the
+// remaining pages return.
+func TestCursorSurvivesCompaction(t *testing.T) {
+	data := sdetSpill(t, 11)
+	base, _ := readAllEvents(t, data)
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	s := openStore(t, Options{SegmentSpan: (hi - lo) / 6, Workers: 2, CacheBytes: 32 << 20})
+	if res := ingestBytes(t, s, "acme", data); len(res.Segments) < 2 {
+		t.Fatalf("need a multi-segment split, got %d segments", len(res.Segments))
+	}
+
+	p := Params{Tenant: "acme", Agg: "events"}
+	full, err := s.Query(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullTxt bytes.Buffer
+	if err := full.Format(&fullTxt, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	limit := len(full.Events)/7 + 1
+	compacted := false
+	evs, txt, _ := walkPages(t, s, p, limit, func(page int) {
+		if page == 3 {
+			res, err := s.Compact("acme")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.In == 0 {
+				t.Fatal("mid-walk compaction merged nothing; the test is vacuous")
+			}
+			compacted = true
+		}
+	})
+	if !compacted {
+		t.Fatal("walk finished before the compaction point")
+	}
+	if !sameEvents(evs, full.Events) {
+		t.Fatalf("pages diverged across compaction (%d vs %d events)", len(evs), len(full.Events))
+	}
+	if !bytes.Equal(txt, fullTxt.Bytes()) {
+		t.Fatal("concatenated pages are not byte-identical across compaction")
+	}
+}

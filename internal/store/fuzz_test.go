@@ -51,7 +51,11 @@ func getFuzzFixture(t testing.TB) *fuzzFixture {
 			return
 		}
 		lo, hi := evs[0].Time, evs[len(evs)-1].Time
-		s, err := Open(Options{Root: rootDir, SegmentSpan: (hi - lo) / 7, Workers: 2})
+		// The cache is on so every fuzz case exercises the cached path:
+		// the first pruned query fills it cold, the second hits warm, and
+		// the NoPrune full scan bypasses it as the baseline.
+		s, err := Open(Options{Root: rootDir, SegmentSpan: (hi - lo) / 7, Workers: 2,
+			CacheBytes: 32 << 20})
 		if err != nil {
 			fuzzErr = err
 			return
@@ -69,9 +73,11 @@ func getFuzzFixture(t testing.TB) *fuzzFixture {
 }
 
 // FuzzQueryParams fuzzes the query parameter parser and, for every query
-// string that parses, checks the pruning invariant: an index-pruned scan
-// must return exactly the events of a full scan, which must in turn match
-// the offline filter of the original merged stream.
+// string that parses, checks the transparency invariant: an index-pruned
+// cached scan (cold and warm) must return exactly the events of a
+// cache-bypassing full scan, which must in turn match the offline filter
+// of the original merged stream — with the cursor's skip applied to the
+// oracle when the query carries one.
 func FuzzQueryParams(f *testing.F) {
 	seeds := []string{
 		"tenant=acme",
@@ -89,6 +95,11 @@ func FuzzQueryParams(f *testing.F) {
 		"tenant=acme&agg=bogus",
 		"tenant=acme&from=9&to=9",
 		"tenant=a%20b&pid=-1",
+		"tenant=acme&limit=5",
+		"tenant=acme&agg=events&limit=7&cursor=k1.MTAwOjA6MQ",
+		"tenant=acme&major=sched&cursor=k1.MjAwMDA6Mzox",
+		"tenant=acme&cursor=garbage",
+		"tenant=acme&agg=overview&cursor=k1.MTAwOjA6MQ",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -112,27 +123,45 @@ func FuzzQueryParams(f *testing.F) {
 			t.Fatalf("params round-trip changed: %+v -> %+v", p, p2)
 		}
 
-		// Pruning invariant against the fixture store. Aggregations render
-		// from the same filtered events, so compare events directly.
+		// Transparency invariant against the fixture store. Aggregations
+		// render from the same filtered events, so compare events directly;
+		// Limit is cleared so pagination does not truncate the comparison,
+		// but an accepted cursor stays and must skip identically everywhere.
 		fix := getFuzzFixture(t)
 		p.Tenant = "acme"
 		p.Agg = "events"
 		p.Limit = 0
 		p.NoPrune = false
-		pruned, err := fix.s.Query(p)
+		cold, err := fix.s.Query(p)
 		if err != nil {
-			t.Fatalf("pruned query: %v", err)
+			t.Fatalf("cold cached query: %v", err)
+		}
+		warm, err := fix.s.Query(p)
+		if err != nil {
+			t.Fatalf("warm cached query: %v", err)
 		}
 		p.NoPrune = true
 		full, err := fix.s.Query(p)
 		if err != nil {
 			t.Fatalf("full-scan query: %v", err)
 		}
-		if !sameEvents(pruned.Events, full.Events) {
-			t.Fatalf("pruning changed results for %q: %d pruned vs %d full events",
-				query, len(pruned.Events), len(full.Events))
+		if !sameEvents(cold.Events, full.Events) {
+			t.Fatalf("pruned+cached (cold) changed results for %q: %d vs %d full events",
+				query, len(cold.Events), len(full.Events))
 		}
-		if want := MatchStream(fix.base, p); !sameEvents(full.Events, want) {
+		if !sameEvents(warm.Events, full.Events) {
+			t.Fatalf("cache hit (warm) changed results for %q: %d vs %d full events",
+				query, len(warm.Events), len(full.Events))
+		}
+		want := MatchStream(fix.base, p)
+		if p.Cursor != "" {
+			c, err := decodeCursor(p.Cursor)
+			if err != nil {
+				t.Fatalf("accepted cursor failed to decode: %v", err)
+			}
+			want = applyCursor(want, c)
+		}
+		if !sameEvents(full.Events, want) {
 			t.Fatalf("store scan diverges from offline filter for %q: %d vs %d events",
 				query, len(full.Events), len(want))
 		}

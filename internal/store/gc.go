@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"log"
 	"time"
 )
 
@@ -28,6 +29,11 @@ func (s *Store) GC(tenantName string) (*GCResult, error) {
 	}
 	now := s.opt.Now()
 
+	// Serialize against compaction (and other GC passes): a compaction
+	// racing this expiry could swap expired segments back in past the
+	// retention budget.
+	t.maint.Lock()
+	defer t.maint.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var doomed []uint64
@@ -88,22 +94,37 @@ func (s *Store) GC(tenantName string) (*GCResult, error) {
 	return res, nil
 }
 
-// GCAll runs retention over every tenant.
+// GCAll runs retention over every tenant. A tenant whose pass fails is
+// logged and counted (tracestored_maintenance_errors_total{tenant,op}) —
+// a tenant whose maintenance permanently fails must not go dark silently.
 func (s *Store) GCAll() []GCResult {
 	var out []GCResult
 	for _, st := range s.Tenants() {
-		if r, err := s.GC(st.Name); err == nil && r.Segments > 0 {
+		r, err := s.GC(st.Name)
+		if err != nil {
+			log.Printf("store: gc %s: %v", st.Name, err)
+			s.metrics.maintError(st.Name, "gc")
+			continue
+		}
+		if r.Segments > 0 {
 			out = append(out, *r)
 		}
 	}
 	return out
 }
 
-// CompactAll compacts every tenant.
+// CompactAll compacts every tenant, logging and counting per-tenant
+// failures like GCAll.
 func (s *Store) CompactAll() []CompactResult {
 	var out []CompactResult
 	for _, st := range s.Tenants() {
-		if r, err := s.Compact(st.Name); err == nil && r.Runs > 0 {
+		r, err := s.Compact(st.Name)
+		if err != nil {
+			log.Printf("store: compact %s: %v", st.Name, err)
+			s.metrics.maintError(st.Name, "compact")
+			continue
+		}
+		if r.Runs > 0 {
 			out = append(out, *r)
 		}
 	}

@@ -7,6 +7,185 @@ import (
 	"time"
 )
 
+// TestConcurrentCompactionConserves is the promoted regression test for
+// the concurrent-maintenance duplication bug: two concurrent Compact
+// passes on one tenant both picked the same run, and swap silently
+// tolerated removing already-removed IDs while unconditionally adding
+// each pass's merged output — duplicating every event in the run. Before
+// the per-tenant maintenance mutex this failed deterministically
+// (87014 -> 174028 events); now pass B serializes behind pass A.
+//
+// The killpoint gate uses an atomic flag, not sync.Once: Once.Do would
+// block pass B's own killpoint call until A's gated function returns,
+// which waits on B — a deadlock instead of a repro.
+func TestConcurrentCompactionConserves(t *testing.T) {
+	data := sdetSpill(t, 7)
+	base, _ := readAllEvents(t, data)
+	e := uint64(len(base))
+	lo, hi := base[0].Time, base[len(base)-1].Time
+
+	s := openStore(t, Options{SegmentSpan: (hi - lo) / 5, Workers: 2})
+	if res := ingestBytes(t, s, "x", data); len(res.Segments) < 2 {
+		t.Fatalf("need >= 2 segments for a compaction run, got %d", len(res.Segments))
+	}
+
+	r0, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(r0.Events)) != e {
+		t.Fatalf("store holds %d events, upload had %d", len(r0.Events), e)
+	}
+
+	// Park the first pass at the pre-swap killpoint; only the first pass
+	// gates (CAS), so pass B's killpoint call returns immediately.
+	var first atomic.Bool
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	compactKill = func(stage string) {
+		if stage != "compact-before-swap" {
+			return
+		}
+		if first.CompareAndSwap(false, true) {
+			close(parked)
+			<-release
+		}
+	}
+	defer func() { compactKill = nil }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Compact("x"); err != nil {
+			t.Errorf("compact A: %v", err)
+		}
+	}()
+	<-parked
+
+	// Pass B: against the broken store it picked the same run and committed
+	// while A was parked pre-swap; against the fixed store it blocks on the
+	// maintenance mutex, so fall through on a timeout and release A.
+	bDone := make(chan struct{})
+	go func() {
+		defer close(bDone)
+		if _, err := s.Compact("x"); err != nil {
+			t.Errorf("compact B: %v", err)
+		}
+	}()
+	select {
+	case <-bDone:
+	case <-time.After(300 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+	<-bDone
+
+	r1, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Events) != len(r0.Events) {
+		t.Fatalf("concurrent compaction changed event count: %d -> %d", len(r0.Events), len(r1.Events))
+	}
+	if !sameEvents(r1.Events, r0.Events) {
+		t.Fatal("concurrent compaction changed event content")
+	}
+}
+
+// TestGCRacingCompaction pins the other half of the maintenance hole:
+// compaction racing retention must never resurrect expired segments.
+// Upload A ages out and is expired; while compaction and GC then churn
+// concurrently, every query must see exactly upload B — A's events never
+// reappear — and the byte budget must hold once the race settles.
+func TestGCRacingCompaction(t *testing.T) {
+	now := int64(1_000_000)
+	dataA := sdetSpill(t, 31)
+	dataB := sdetSpill(t, 32)
+	baseB, _ := readAllEvents(t, dataB)
+	eB := uint64(len(baseB))
+	lo, hi := baseB[0].Time, baseB[len(baseB)-1].Time
+
+	budget := int64(len(dataB)) * 2
+	s := openStore(t, Options{
+		SegmentSpan: (hi - lo) / 5,
+		RetainAge:   time.Hour,
+		RetainBytes: budget,
+		Now:         fixedNow(&now),
+		Workers:     2,
+	})
+	ingestBytes(t, s, "x", dataA)
+	now += 3601 // upload A ages out
+	ingestBytes(t, s, "x", dataB)
+
+	if gr, err := s.GC("x"); err != nil {
+		t.Fatal(err)
+	} else if gr.Segments == 0 {
+		t.Fatal("age GC expired nothing")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, churn := range []func() error{
+		func() error { _, err := s.Compact("x"); return err },
+		func() error { _, err := s.GC("x"); return err },
+	} {
+		wg.Add(1)
+		go func(churn func() error) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := churn(); err != nil {
+					t.Errorf("maintenance: %v", err)
+					return
+				}
+			}
+		}(churn)
+	}
+	deadline := time.After(500 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+		}
+		r, err := s.Query(Params{Tenant: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(r.Events)) != eB {
+			t.Fatalf("query saw %d events during the race, surviving upload holds %d (expired events reappeared?)",
+				len(r.Events), eB)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Settle: one final pass each, then the budget and catalog must hold.
+	if _, err := s.Compact("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Tenants()[0]
+	if st.Bytes > budget {
+		t.Fatalf("tenant holds %d bytes after the race, budget is %d", st.Bytes, budget)
+	}
+	r, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEvents(r.Events, baseB) {
+		t.Fatalf("settled store diverged from the surviving upload (%d vs %d events)",
+			len(r.Events), len(baseB))
+	}
+}
+
 // TestHammerQueriesVsMutation races queries against ingest, compaction,
 // and GC (run under -race in CI). The invariants:
 //
@@ -17,6 +196,19 @@ import (
 //   - nothing errors: in-process refcounting means deletion underfoot
 //     never surfaces, even while GC drops segments mid-query.
 func TestHammerQueriesVsMutation(t *testing.T) {
+	hammerQueriesVsMutation(t, 0)
+}
+
+// TestHammerQueriesVsMutationCached runs the same race with the segment
+// cache on: queries keep hitting cached partials while compaction and GC
+// retire the segments behind them, and the invariants must still hold —
+// a full-range count is a whole multiple of the upload size even when
+// part of the answer came from cache.
+func TestHammerQueriesVsMutationCached(t *testing.T) {
+	hammerQueriesVsMutation(t, 32<<20)
+}
+
+func hammerQueriesVsMutation(t *testing.T, cacheBytes int64) {
 	data := sdetSmall(t, 99)
 	base, _ := readAllEvents(t, data)
 	e := uint64(len(base))
@@ -31,13 +223,15 @@ func TestHammerQueriesVsMutation(t *testing.T) {
 		// Byte budget ~ 4 uploads: GC constantly deletes under the queries.
 		RetainBytes: int64(len(data)) * 4,
 		Workers:     2,
+		CacheBytes:  cacheBytes,
 	})
 
 	var (
-		wg       sync.WaitGroup
-		done     atomic.Bool
-		queries  atomic.Int64
-		gcPasses atomic.Int64
+		wg        sync.WaitGroup
+		done      atomic.Bool
+		queries   atomic.Int64
+		gcPasses  atomic.Int64
+		cacheHits atomic.Int64
 	)
 
 	// Ingest: one atomic upload at a time.
@@ -101,6 +295,7 @@ func TestHammerQueriesVsMutation(t *testing.T) {
 					return
 				}
 				queries.Add(1)
+				cacheHits.Add(int64(r.SegsCached))
 				if p.From == 0 && p.To == 0 {
 					if uint64(len(r.Events))%e != 0 {
 						t.Errorf("full-range query saw %d events; not a multiple of upload size %d",
@@ -123,8 +318,11 @@ func TestHammerQueriesVsMutation(t *testing.T) {
 	if queries.Load() == 0 {
 		t.Fatal("no query completed")
 	}
-	t.Logf("%d queries raced %d uploads, gc freed segments %d times",
-		queries.Load(), uploads, gcPasses.Load())
+	if cacheBytes > 0 && cacheHits.Load() == 0 {
+		t.Fatal("cached hammer never hit the cache; the variant is vacuous")
+	}
+	t.Logf("%d queries raced %d uploads, gc freed segments %d times, %d cached segment scans",
+		queries.Load(), uploads, gcPasses.Load(), cacheHits.Load())
 
 	// Settle: after the race, the store must still be exactly consistent.
 	if _, err := s.Compact("mix"); err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 )
 
 // maxUploadBytes bounds one spill upload (1 GiB): a runaway client fails
@@ -19,7 +20,7 @@ const maxUploadBytes = 1 << 30
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /tenants                     per-tenant catalog summary (JSON)
 //	POST /ingest?tenant=T             upload one .ktr spill (body = file)
-//	GET  /query?tenant=T&from=&to=&major=&minor=&pid=&agg=&limit=
+//	GET  /query?tenant=T&from=&to=&major=&minor=&pid=&agg=&limit=&cursor=
 //	POST /admin/compact?tenant=T      merge small adjacent segments
 //	POST /admin/gc?tenant=T           apply retention now
 func (s *Store) Handler() http.Handler {
@@ -95,9 +96,17 @@ func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.Query(p)
+	res, err := s.QueryCtx(r.Context(), p)
+	var overload *ErrOverload
 	switch {
 	case err == nil:
+	case errors.As(err, &overload):
+		// Admission control refused the query: the tenant's queue is
+		// full. Retry-After carries the server's slot-availability
+		// estimate (seconds, rounded up).
+		w.Header().Set("Retry-After", fmt.Sprint(int((overload.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
 	case isGone(err):
 		// A segment vanished between pin and scan (external deletion):
 		// the catalog no longer matches the disk, so ask the client to
@@ -116,6 +125,10 @@ func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Blocks-Scanned", fmt.Sprint(res.BlocksScanned))
 	w.Header().Set("X-Blocks-Pruned", fmt.Sprint(res.BlocksPruned))
 	w.Header().Set("X-Segments-Pruned", fmt.Sprint(res.SegsPruned))
+	w.Header().Set("X-Segments-Cached", fmt.Sprint(res.SegsCached))
+	if res.NextCursor != "" {
+		w.Header().Set("X-Next-Cursor", res.NextCursor)
+	}
 	if err := res.Format(w, s.opt.Workers); err != nil {
 		// Headers are gone; all we can do is cut the connection short.
 		return

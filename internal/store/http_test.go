@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -80,7 +81,33 @@ func TestHTTPSurface(t *testing.T) {
 		t.Fatal("overview aggregation rendered nothing")
 	}
 	wantStatus(get("/query?tenant=acme&from=oops"), 400)
+	wantStatus(get("/query?tenant=acme&cursor=junk"), 400)
+	wantStatus(get("/query?tenant=acme&agg=overview&cursor=k1.MTAwOjA6MQ"), 400)
 	wantStatus(get("/query?tenant=ghost"), 404)
+
+	// Pagination over HTTP: walk X-Next-Cursor and compare the
+	// concatenated pages to the unpaginated listing byte for byte.
+	var paged strings.Builder
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > len(base) {
+			t.Fatal("cursor walk did not terminate")
+		}
+		u := "/query?tenant=acme&limit=97"
+		if cursor != "" {
+			u += "&cursor=" + cursor
+		}
+		resp := get(u)
+		next := resp.Header.Get("X-Next-Cursor")
+		paged.Write(wantStatus(resp, 200))
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if paged.String() != string(body) {
+		t.Fatal("paginated walk is not byte-identical to the unpaginated listing")
+	}
 
 	// Admin surfaces.
 	wantStatus(post("/admin/compact?tenant=acme", nil), 200)
@@ -118,4 +145,52 @@ func TestHTTPSurface(t *testing.T) {
 	wantStatus(get("/query?tenant=doomed"), 410)
 	// The other tenant is untouched by the neighbour's disappearance.
 	wantStatus(get("/query?tenant=acme&agg=lockstat"), 200)
+}
+
+// TestHTTPOverload pins the 429 contract: with the scan pool held and no
+// queue, /query answers 429 with an integral Retry-After of at least one
+// second, the refusal is counted, and service resumes once the slot
+// frees.
+func TestHTTPOverload(t *testing.T) {
+	data := sdetSmall(t, 31)
+	s := openStore(t, Options{Workers: 2,
+		Admission: AdmissionOptions{MaxConcurrent: 1, TenantMax: 1, TenantQueue: 0}})
+	ingestBytes(t, s, "acme", data)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	release, err := s.adm.acquire(context.Background(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/query?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("query with the pool held: status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	release()
+
+	resp, err = http.Get(srv.URL + "/query?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after release: status %d", resp.StatusCode)
+	}
+
+	metrics := &bytes.Buffer{}
+	s.metrics.Write(metrics, s)
+	if !strings.Contains(metrics.String(), `tracestored_admission_rejected_total{tenant="acme"} 1`) {
+		t.Fatal("metrics did not count the 429")
+	}
 }

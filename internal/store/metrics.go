@@ -30,6 +30,16 @@ type tenantCounters struct {
 	CompactedSegs uint64
 	GCSegments    uint64
 	GCBytes       uint64
+
+	CompactErrors uint64 // failed compaction passes (CompactAll)
+	GCErrors      uint64 // failed retention passes (GCAll)
+
+	CacheHits   uint64 // segment scans answered from the result cache
+	CacheMisses uint64 // segment scans that had to read blocks
+
+	Admitted uint64 // queries granted a scan slot immediately
+	Queued   uint64 // queries that waited for a slot
+	Rejected uint64 // queries refused with 429 (queue full)
 }
 
 // Metrics is the store's cumulative counter set, rendered in Prometheus
@@ -43,11 +53,19 @@ type Metrics struct {
 	latBuckets []uint64
 	latCount   uint64
 	latSum     float64
+
+	// admission queue-wait histogram (global, same bucket bounds)
+	waitBuckets []uint64
+	waitCount   uint64
+	waitSum     float64
+
+	cacheEvictions uint64
 }
 
 func (m *Metrics) init() {
 	m.tenants = map[string]*tenantCounters{}
 	m.latBuckets = make([]uint64, len(queryBuckets))
+	m.waitBuckets = make([]uint64, len(queryBuckets))
 }
 
 func (m *Metrics) tc(tenant string) *tenantCounters {
@@ -104,6 +122,62 @@ func (m *Metrics) compact(tenant string, merged int) {
 	c.CompactedSegs += uint64(merged)
 }
 
+// maintError records one failed maintenance pass (op is "compact" or
+// "gc").
+func (m *Metrics) maintError(tenant, op string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	if op == "gc" {
+		c.GCErrors++
+	} else {
+		c.CompactErrors++
+	}
+}
+
+// cacheScan records one query's per-segment cache outcomes.
+func (m *Metrics) cacheScan(tenant string, hits, misses int) {
+	if hits == 0 && misses == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	c.CacheHits += uint64(hits)
+	c.CacheMisses += uint64(misses)
+}
+
+func (m *Metrics) cacheEvict(n int) {
+	m.mu.Lock()
+	m.cacheEvictions += uint64(n)
+	m.mu.Unlock()
+}
+
+// admission records one admission decision; waited is the queue time for
+// queries that had to wait (zero for immediate grants).
+func (m *Metrics) admission(tenant string, outcome admOutcome, waited time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tc(tenant)
+	switch outcome {
+	case admImmediate:
+		c.Admitted++
+	case admQueued:
+		c.Admitted++
+		c.Queued++
+		sec := waited.Seconds()
+		m.waitCount++
+		m.waitSum += sec
+		for i, ub := range queryBuckets {
+			if sec <= ub {
+				m.waitBuckets[i]++
+			}
+		}
+	case admRejected:
+		c.Rejected++
+	}
+}
+
 func (m *Metrics) gc(tenant string, segs int, bytes int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -130,6 +204,9 @@ func (m *Metrics) Write(w io.Writer, s *Store) {
 	}
 	latBuckets := append([]uint64(nil), m.latBuckets...)
 	latCount, latSum := m.latCount, m.latSum
+	waitBuckets := append([]uint64(nil), m.waitBuckets...)
+	waitCount, waitSum := m.waitCount, m.waitSum
+	cacheEvictions := m.cacheEvictions
 	m.mu.Unlock()
 
 	counter := func(name, help string, v func(tenantCounters) uint64) {
@@ -167,6 +244,27 @@ func (m *Metrics) Write(w io.Writer, s *Store) {
 		func(c tenantCounters) uint64 { return c.GCSegments })
 	counter("tracestored_gc_bytes_total", "Bytes reclaimed by retention per tenant.",
 		func(c tenantCounters) uint64 { return c.GCBytes })
+	fmt.Fprintf(w, "# HELP tracestored_maintenance_errors_total Failed maintenance passes per tenant and op.\n"+
+		"# TYPE tracestored_maintenance_errors_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "tracestored_maintenance_errors_total{tenant=\"%s\",op=\"compact\"} %d\n",
+			escapeLabel(n), snap[n].CompactErrors)
+		fmt.Fprintf(w, "tracestored_maintenance_errors_total{tenant=\"%s\",op=\"gc\"} %d\n",
+			escapeLabel(n), snap[n].GCErrors)
+	}
+	counter("tracestored_cache_hits_total", "Segment scans answered from the result cache per tenant.",
+		func(c tenantCounters) uint64 { return c.CacheHits })
+	counter("tracestored_cache_misses_total", "Segment scans that read blocks per tenant.",
+		func(c tenantCounters) uint64 { return c.CacheMisses })
+	counter("tracestored_admission_admitted_total", "Queries granted a scan slot per tenant.",
+		func(c tenantCounters) uint64 { return c.Admitted })
+	counter("tracestored_admission_queued_total", "Queries that waited for a scan slot per tenant.",
+		func(c tenantCounters) uint64 { return c.Queued })
+	counter("tracestored_admission_rejected_total", "Queries refused with 429 per tenant.",
+		func(c tenantCounters) uint64 { return c.Rejected })
+	fmt.Fprintf(w, "# HELP tracestored_cache_evictions_total Cache entries evicted by the byte budget.\n"+
+		"# TYPE tracestored_cache_evictions_total counter\n"+
+		"tracestored_cache_evictions_total %d\n", cacheEvictions)
 
 	gauge := func(name, help string, v func(TenantStats) uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
@@ -181,6 +279,18 @@ func (m *Metrics) Write(w io.Writer, s *Store) {
 	gauge("tracestored_events", "Stored events per tenant.",
 		func(st TenantStats) uint64 { return st.Events })
 
+	// Live cache and admission state.
+	cb, ce := s.cache.stats()
+	fmt.Fprintf(w, "# HELP tracestored_cache_bytes Resident segment-cache bytes.\n"+
+		"# TYPE tracestored_cache_bytes gauge\ntracestored_cache_bytes %d\n", cb)
+	fmt.Fprintf(w, "# HELP tracestored_cache_entries Resident segment-cache entries.\n"+
+		"# TYPE tracestored_cache_entries gauge\ntracestored_cache_entries %d\n", ce)
+	active, waiting := s.adm.stats()
+	fmt.Fprintf(w, "# HELP tracestored_admission_active Queries holding a scan slot.\n"+
+		"# TYPE tracestored_admission_active gauge\ntracestored_admission_active %d\n", active)
+	fmt.Fprintf(w, "# HELP tracestored_admission_waiting Queries waiting for a scan slot.\n"+
+		"# TYPE tracestored_admission_waiting gauge\ntracestored_admission_waiting %d\n", waiting)
+
 	fmt.Fprintf(w, "# HELP tracestored_query_seconds Query latency.\n# TYPE tracestored_query_seconds histogram\n")
 	for i, ub := range queryBuckets {
 		fmt.Fprintf(w, "tracestored_query_seconds_bucket{le=\"%g\"} %d\n", ub, latBuckets[i])
@@ -188,6 +298,15 @@ func (m *Metrics) Write(w io.Writer, s *Store) {
 	fmt.Fprintf(w, "tracestored_query_seconds_bucket{le=\"+Inf\"} %d\n", latCount)
 	fmt.Fprintf(w, "tracestored_query_seconds_sum %g\n", latSum)
 	fmt.Fprintf(w, "tracestored_query_seconds_count %d\n", latCount)
+
+	fmt.Fprintf(w, "# HELP tracestored_admission_wait_seconds Scan-slot queue wait of queries that queued.\n"+
+		"# TYPE tracestored_admission_wait_seconds histogram\n")
+	for i, ub := range queryBuckets {
+		fmt.Fprintf(w, "tracestored_admission_wait_seconds_bucket{le=\"%g\"} %d\n", ub, waitBuckets[i])
+	}
+	fmt.Fprintf(w, "tracestored_admission_wait_seconds_bucket{le=\"+Inf\"} %d\n", waitCount)
+	fmt.Fprintf(w, "tracestored_admission_wait_seconds_sum %g\n", waitSum)
+	fmt.Fprintf(w, "tracestored_admission_wait_seconds_count %d\n", waitCount)
 }
 
 // escapeLabel escapes a label value per the Prometheus text exposition

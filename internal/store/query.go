@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,10 +42,16 @@ type Params struct {
 	Pid    uint64
 	// Agg is one of Aggs ("" = "events"). timebreak requires Pid.
 	Agg string
-	// Limit caps the events listing (0 = unlimited); aggregations ignore it.
+	// Limit caps the events listing (0 = unlimited); aggregations ignore
+	// it. With agg=events it is the page size: a query returning Limit
+	// events carries a NextCursor for the rest.
 	Limit int
-	// NoPrune disables index pruning (full scan): the bench baseline and
-	// the fuzz invariant that pruned == unpruned.
+	// Cursor resumes an agg=events listing where a previous page stopped
+	// (the page's NextCursor / X-Next-Cursor token). "" starts at the top.
+	Cursor string
+	// NoPrune disables index pruning and the segment result cache (full
+	// scan): the bench baseline and the fuzz invariant that pruned ==
+	// unpruned == cached.
 	NoPrune bool
 }
 
@@ -124,6 +131,15 @@ func ParseParams(v url.Values) (Params, error) {
 		}
 		p.Limit = n
 	}
+	if s := v.Get("cursor"); s != "" {
+		if p.Agg != "events" {
+			return p, fmt.Errorf("cursor requires agg=events")
+		}
+		if _, err := decodeCursor(s); err != nil {
+			return p, fmt.Errorf("bad cursor %q: %v", s, err)
+		}
+		p.Cursor = s
+	}
 	if s := v.Get("noprune"); s != "" && s != "0" && s != "false" {
 		p.NoPrune = true
 	}
@@ -156,6 +172,9 @@ func (p Params) Values() url.Values {
 	if p.Limit != 0 {
 		v.Set("limit", strconv.Itoa(p.Limit))
 	}
+	if p.Cursor != "" {
+		v.Set("cursor", p.Cursor)
+	}
 	if p.NoPrune {
 		v.Set("noprune", "1")
 	}
@@ -171,8 +190,13 @@ type Result struct {
 	Hz     uint64
 	Events []event.Event
 
+	// NextCursor is the token for the page after this one ("" = listing
+	// complete). Set only for agg=events with Limit > 0.
+	NextCursor string
+
 	SegsTotal     int
 	SegsScanned   int
+	SegsCached    int // of SegsScanned, served from the segment cache
 	SegsPruned    int
 	BlocksScanned int
 	BlocksPruned  int
@@ -185,6 +209,18 @@ type Result struct {
 // predicates. Events return in global (Time, CPU) merge order, the same
 // order stream.ReadAll produces.
 func (s *Store) Query(p Params) (*Result, error) {
+	return s.QueryCtx(context.Background(), p)
+}
+
+// QueryCtx is Query under a context: admission control queues or refuses
+// the query here (ErrOverload — the HTTP 429 path), and ctx cancellation
+// abandons a queued wait.
+func (s *Store) QueryCtx(ctx context.Context, p Params) (*Result, error) {
+	release, err := s.adm.acquire(ctx, p.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	start := time.Now()
 	res, err := s.query(p)
 	dur := time.Since(start)
@@ -205,7 +241,25 @@ func (s *Store) query(p Params) (*Result, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoTenant, p.Tenant)
 	}
 	res := &Result{Params: p}
-	to := p.effTo()
+
+	// A cursor resumes mid-listing: everything before its position is
+	// already emitted, so raise the scan's lower bound to the cursor time
+	// — index pruning and the segment cache then skip the emitted prefix.
+	// Events exactly at the cursor time stay in scope; applyCursor drops
+	// the already-emitted ones after the merge.
+	var cur *cursor
+	scan := p
+	if p.Cursor != "" {
+		c, err := decodeCursor(p.Cursor)
+		if err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		cur = &c
+		if c.time > scan.From {
+			scan.From = c.time
+		}
+	}
+	to := scan.effTo()
 
 	// Pin the overlapping segments. The catalog lock makes the pin atomic
 	// against swap: a segment is either pinned before it retires (readers
@@ -215,7 +269,7 @@ func (s *Store) query(p Params) (*Result, error) {
 	var pinned []*segment
 	for i := range infos {
 		si := &infos[i]
-		if !p.NoPrune && (si.MaxTime < p.From || si.MinTime >= to) {
+		if !scan.NoPrune && (si.MaxTime < scan.From || si.MinTime >= to) {
 			res.SegsPruned++
 			continue
 		}
@@ -244,17 +298,44 @@ func (s *Store) query(p Params) (*Result, error) {
 		err             error
 	}
 	parts := make([]segResult, len(pinned))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, scanParallelism(workers, len(pinned)))
+
+	// Serve what the cache already holds; only the misses scan. NoPrune
+	// bypasses the cache — it is the transparency baseline the cached
+	// path is checked against.
+	useCache := s.cache.enabled() && !scan.NoPrune
+	keys := make([]cacheKey, len(pinned))
+	var toScan []int
+	hits := 0
 	for i, sg := range pinned {
+		if useCache {
+			keys[i] = cacheKey{
+				seg: segRef{tenant: p.Tenant, id: sg.info.ID},
+				fp:  fingerprintFor(&scan, &sg.info),
+			}
+			if evs, ok := s.cache.get(keys[i]); ok {
+				parts[i].evs = evs
+				hits++
+				continue
+			}
+		}
+		toScan = append(toScan, i)
+	}
+	res.SegsCached = hits
+	if useCache {
+		s.metrics.cacheScan(p.Tenant, hits, len(toScan))
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, scanParallelism(workers, len(toScan)))
+	for _, i := range toScan {
 		wg.Add(1)
 		go func(i int, sg *segment) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			pr := &parts[i]
-			pr.evs, pr.scanned, pr.pruned, pr.err = scanSegment(sg, p, workers)
-		}(i, sg)
+			pr.evs, pr.scanned, pr.pruned, pr.err = scanSegment(sg, scan, workers)
+		}(i, pinned[i])
 	}
 	wg.Wait()
 
@@ -267,9 +348,15 @@ func (s *Store) query(p Params) (*Result, error) {
 		res.BlocksPruned += parts[i].pruned
 		n += len(parts[i].evs)
 	}
+	if useCache {
+		for _, i := range toScan {
+			s.cache.put(keys[i], parts[i].evs)
+		}
+	}
 	// Pinned segments are in (MinTime, ID) order and each part keeps
 	// per-CPU stream order, so a stable (Time, CPU) sort reproduces the
-	// ReadAll merge order.
+	// ReadAll merge order. Cached parts are shared read-only slices; the
+	// append copies them into this query's own merge buffer.
 	evs := make([]event.Event, 0, n)
 	for i := range parts {
 		evs = append(evs, parts[i].evs...)
@@ -280,7 +367,18 @@ func (s *Store) query(p Params) (*Result, error) {
 		}
 		return evs[i].CPU < evs[j].CPU
 	})
+	if cur != nil {
+		evs = applyCursor(evs, *cur)
+	}
 	res.Events = evs
+	// Paginate the events listing: a page of exactly Limit events with
+	// more behind it carries the token for the next page. Aggregations
+	// always consume the full matching set.
+	if (p.Agg == "" || p.Agg == "events") && p.Limit > 0 && len(evs) > p.Limit {
+		page := evs[:p.Limit]
+		res.Events = page
+		res.NextCursor = encodeCursor(nextCursor(page, cur))
+	}
 	return res, nil
 }
 

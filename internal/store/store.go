@@ -29,6 +29,13 @@ type Options struct {
 	// Workers bounds per-query and per-ingest decode parallelism
 	// (0 = GOMAXPROCS).
 	Workers int
+	// CacheBytes budgets the segment-level query result cache (LRU by
+	// bytes; 0 disables it). Segments are immutable, so entries never
+	// invalidate — they evict, or drop when their segment retires.
+	CacheBytes int64
+	// Admission bounds the query scan pool per tenant (zero value =
+	// admission control off).
+	Admission AdmissionOptions
 	// Now is the wall clock (tests inject a fixed one so fixtures are
 	// reproducible). nil means time.Now.
 	Now func() time.Time
@@ -51,19 +58,28 @@ type Store struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
 
+	cache   *segCache
+	adm     *admission
 	metrics Metrics
 }
 
 // tenant is one namespace: its manifest (the catalog) and the live
 // segment handles. The catalog lock (mu) covers manifest mutations and
-// snapshotting; block scans run outside it, pinned by refcounts.
+// snapshotting; block scans run outside it, pinned by refcounts. The
+// maintenance lock (maint) serializes whole Compact/GC passes: two
+// concurrent passes would pick the same run and commit it twice —
+// duplicating every event in the run — or let compaction resurrect
+// segments GC just expired. maint is always acquired before mu and never
+// the other way, so the pair cannot deadlock.
 type tenant struct {
-	name string
-	dir  string
+	name  string
+	dir   string
+	store *Store
 
-	mu   sync.Mutex
-	man  manifest
-	segs map[uint64]*segment
+	maint sync.Mutex
+	mu    sync.Mutex
+	man   manifest
+	segs  map[uint64]*segment
 }
 
 // tenantNameRe: path-safe, no dot-leading names, bounded length.
@@ -87,6 +103,8 @@ func Open(opt Options) (*Store, error) {
 	}
 	s := &Store{opt: opt, tenants: map[string]*tenant{}}
 	s.metrics.init()
+	s.cache = newSegCache(opt.CacheBytes, &s.metrics)
+	s.adm = newAdmission(opt.Admission, &s.metrics)
 	entries, err := os.ReadDir(opt.Root)
 	if err != nil {
 		return nil, err
@@ -111,7 +129,7 @@ func (s *Store) openTenant(name string) (*tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &tenant{name: name, dir: dir, man: man, segs: map[uint64]*segment{}}
+	t := &tenant{name: name, dir: dir, store: s, man: man, segs: map[uint64]*segment{}}
 	referenced := map[string]bool{manifestName: true}
 	for i := range man.Segments {
 		si := man.Segments[i]
@@ -155,7 +173,7 @@ func (s *Store) tenantOrCreate(name string) (*tenant, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	t := &tenant{name: name, dir: dir, man: manifest{Version: manifestVersion}, segs: map[uint64]*segment{}}
+	t := &tenant{name: name, dir: dir, store: s, man: manifest{Version: manifestVersion}, segs: map[uint64]*segment{}}
 	s.tenants[name] = t
 	return t, nil
 }
@@ -229,10 +247,26 @@ func (s *Store) Close() {
 // manifest (the atomic rename is the commit point), added segments join
 // the live map, and removed segments retire — their files are unlinked
 // once the last in-flight reader releases them. Callers hold t.mu.
+//
+// Every removeID must still be in the manifest: a swap that "removes" an
+// already-removed segment is a stale plan — the caller raced another
+// mutation and its output would duplicate events or resurrect expired
+// ones. The maintenance mutex makes that impossible for Compact/GC; the
+// check here is defense in depth for future callers, failing the commit
+// so the caller can abort and unlink its orphan output.
 func (t *tenant) swap(add []*segment, removeIDs []uint64) error {
 	byID := map[uint64]bool{}
 	for _, id := range removeIDs {
 		byID[id] = true
+	}
+	present := map[uint64]bool{}
+	for _, si := range t.man.Segments {
+		present[si.ID] = true
+	}
+	for _, id := range removeIDs {
+		if !present[id] {
+			return fmt.Errorf("store: stale swap: segment %d is no longer in the manifest", id)
+		}
 	}
 	next := t.man.Segments[:0:0]
 	for _, si := range t.man.Segments {
@@ -258,6 +292,9 @@ func (t *tenant) swap(add []*segment, removeIDs []uint64) error {
 			delete(t.segs, id)
 			sg.retire()
 		}
+		// The segment left the catalog for good: its cached partials can
+		// never be needed again.
+		t.store.cache.dropSegment(segRef{tenant: t.name, id: id})
 	}
 	return nil
 }

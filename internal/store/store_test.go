@@ -469,6 +469,48 @@ func TestMultiTenantIsolation(t *testing.T) {
 	}
 }
 
+// TestSwapRejectsStaleRemove: swap must fail a commit whose removeIDs are
+// no longer in the manifest — a stale plan from a racing mutation —
+// leaving the catalog untouched. Defense in depth behind the maintenance
+// mutex.
+func TestSwapRejectsStaleRemove(t *testing.T) {
+	data := sdetSmall(t, 8)
+	base, _ := readAllEvents(t, data)
+	s := openStore(t, Options{})
+	ingestBytes(t, s, "x", data)
+
+	tn := s.getTenant("x")
+	tn.mu.Lock()
+	err := tn.swap(nil, []uint64{99999})
+	tn.mu.Unlock()
+	if err == nil {
+		t.Fatal("swap accepted a removeID that is not in the manifest")
+	}
+
+	// Mixed plans fail whole: one live ID plus one stale ID commits nothing.
+	tn.mu.Lock()
+	live := tn.man.Segments[0].ID
+	err = tn.swap(nil, []uint64{live, 99999})
+	before := len(tn.man.Segments)
+	tn.mu.Unlock()
+	if err == nil {
+		t.Fatal("swap accepted a plan with a stale removeID")
+	}
+	tn.mu.Lock()
+	after := len(tn.man.Segments)
+	tn.mu.Unlock()
+	if before != after {
+		t.Fatalf("failed swap mutated the catalog: %d -> %d segments", before, after)
+	}
+	r, err := s.Query(Params{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEvents(r.Events, base) {
+		t.Fatal("failed swap changed query results")
+	}
+}
+
 // TestParseParamsErrors: the 400 path.
 func TestParseParamsErrors(t *testing.T) {
 	bad := []string{

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the trace store: boot tracestored, ingest spills over
-# HTTP and through the watch directory, query events and aggregations,
-# compact (event-conserving), GC against a byte budget, validate every
-# stored segment with tracecheck, and prove the tracecolld -store handoff.
+# HTTP and through the watch directory, query events and aggregations, walk
+# a paginated listing against the unpaginated one, prove segment-cache hits
+# and admission-control 429s, compact (event-conserving), GC against a byte
+# budget, validate every stored segment with tracecheck, and prove the
+# tracecolld -store handoff.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,9 +36,12 @@ BUDGET=$((SZ * 5 / 2))
 
 mkdir -p "$SPOOL/globex"
 # -seg-span 1: every block lands in its own time window, so one upload
-# splits into many segments and compaction has real work to do.
+# splits into many segments and compaction has real work to do. The scan
+# pool is one slot with no queue, so any overlapping queries surface 429s
+# (the sequential legs below never overlap).
 "$BIN/tracestored" -root "$ROOT" -http "127.0.0.1:$HTTP" \
-    -watch "$SPOOL" -watch-every 200ms -seg-span 1 -retain-bytes "$BUDGET" &
+    -watch "$SPOOL" -watch-every 200ms -seg-span 1 -retain-bytes "$BUDGET" \
+    -cache-bytes $((64 * 1024 * 1024)) -query-concurrency 1 -tenant-queries 1 -tenant-queue 0 &
 STORED_PID=$!
 
 up=""
@@ -75,11 +80,63 @@ curl -fsS "$BASE/query?tenant=acme&agg=overview" >"$WORK/overview.txt"
 grep -q 'pid' "$WORK/overview.txt" \
     || { echo "store_smoke: overview aggregation empty" >&2; exit 1; }
 curl -fsS "$BASE/query?tenant=acme&agg=lockstat" >/dev/null
-# Error surface: bad params 400, unknown tenant 404.
+# Error surface: bad params 400 (malformed cursors included), unknown
+# tenant 404.
 code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query?tenant=acme&from=x")
 [ "$code" = 400 ] || { echo "store_smoke: bad query returned $code, want 400" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query?tenant=acme&cursor=junk")
+[ "$code" = 400 ] || { echo "store_smoke: bad cursor returned $code, want 400" >&2; exit 1; }
 code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query?tenant=nope")
 [ "$code" = 404 ] || { echo "store_smoke: unknown tenant returned $code, want 404" >&2; exit 1; }
+
+# --- Segment cache: a repeated query is served from cached partials ----
+# (metrics are fetched to a file first: `curl -fsS | grep -q` SIGPIPEs
+# under pipefail when grep exits on an early match.)
+qev "tenant=acme" >/dev/null
+curl -fsS "$BASE/metrics" >"$WORK/m-cache.txt"
+grep -q '^tracestored_cache_hits_total{tenant="acme"} [1-9]' "$WORK/m-cache.txt" \
+    || { echo "store_smoke: repeated query produced no cache hits" >&2; exit 1; }
+
+# --- Cursor pagination: walking pages reproduces the full listing ------
+curl -fsS "$BASE/query?tenant=acme" -o "$WORK/full.txt"
+LIM=$((EVENTS / 7 + 1))
+: >"$WORK/paged.txt"
+CURSOR=""
+walked=""
+for _ in $(seq 1 20); do
+    Q="tenant=acme&limit=$LIM"
+    [ -n "$CURSOR" ] && Q="$Q&cursor=$CURSOR"
+    curl -fsS -D "$WORK/hdr" "$BASE/query?$Q" >>"$WORK/paged.txt"
+    CURSOR=$(sed -n 's/^X-Next-Cursor: *//p' "$WORK/hdr" | tr -d '\r')
+    [ -z "$CURSOR" ] && { walked=1; break; }
+done
+[ -n "$walked" ] || { echo "store_smoke: cursor walk never terminated" >&2; exit 1; }
+cmp -s "$WORK/full.txt" "$WORK/paged.txt" \
+    || { echo "store_smoke: paginated walk differs from the unpaginated listing" >&2; exit 1; }
+
+# --- Admission control: overlapping full scans are refused with 429 ----
+# The pool is one slot with no queue; fire parallel brute-force scans
+# until one lands while another holds the slot (retried: tiny scans can
+# slip through sequentially).
+saw429=""
+for _ in $(seq 1 5); do
+    rm -f "$WORK"/code.*
+    CURLS=""
+    for i in 1 2 3 4 5 6 7 8; do
+        curl -s -o /dev/null -w '%{http_code}' \
+            "$BASE/query?tenant=acme&noprune=1" >"$WORK/code.$i" &
+        CURLS="$CURLS $!"
+    done
+    # Wait only on the curls: a bare `wait` would block on the daemon too.
+    wait $CURLS
+    if grep -lq '^429$' "$WORK"/code.* 2>/dev/null; then saw429=1; break; fi
+done
+[ -n "$saw429" ] || { echo "store_smoke: parallel queries never drew a 429" >&2; exit 1; }
+grep -lq '^200$' "$WORK"/code.* >/dev/null \
+    || { echo "store_smoke: overload refused every query; none was admitted" >&2; exit 1; }
+curl -fsS "$BASE/metrics" >"$WORK/m-adm.txt"
+grep -q '^tracestored_admission_rejected_total{tenant="acme"} [1-9]' "$WORK/m-adm.txt" \
+    || { echo "store_smoke: metrics did not count the 429s" >&2; exit 1; }
 
 # --- Compaction: segments shrink, events are conserved -----------------
 curl -fsS -X POST "$BASE/admin/compact?tenant=acme" >"$WORK/compact.json"
@@ -139,4 +196,4 @@ kill -TERM "$STORED_PID"
 wait "$STORED_PID"
 STORED_PID=""
 
-echo "store_smoke: OK ($EVENTS events/upload, $SEGS1 -> $SEGS2 segments compacted, gc + handoff verified)"
+echo "store_smoke: OK ($EVENTS events/upload, $SEGS1 -> $SEGS2 segments compacted, pagination + cache + 429 + gc + handoff verified)"
