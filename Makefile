@@ -1,14 +1,14 @@
 GO ?= go
 
-RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/ ./internal/fed/ ./internal/store/
+RACE_PKGS = ./internal/core/ ./internal/stream/ ./internal/relay/ ./internal/analysis/ ./internal/faultinject/ ./internal/live/ ./internal/shm/ ./internal/fed/ ./internal/store/ ./internal/diff/
 
 # Per-target budget for the fuzz smoke run (matches the CI job).
 FUZZTIME ?= 30s
 
 # Where `make bench` writes its machine-readable results.
-BENCH_JSON ?= BENCH_pr9.json
+BENCH_JSON ?= BENCH_pr10.json
 
-.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke store-smoke
+.PHONY: check build vet test race bench bench-smoke fuzz live-smoke shm-smoke fed-smoke store-smoke diff-smoke
 
 check: vet build test race
 
@@ -76,3 +76,11 @@ fed-smoke:
 # tracecolld -store handoff.
 store-smoke:
 	./scripts/store_smoke.sh
+
+# End-to-end differential-analysis smoke: generate a coarse and a tuned run
+# of the same workload, tracediff must surface the planted lock regression,
+# self-diff must be exactly zero (gated with -max-divergence 0), the
+# threshold gate must exit 3, and the HTML timeline exports (kmon and
+# stacked tracediff) must be deterministic and self-contained.
+diff-smoke:
+	./scripts/diff_smoke.sh

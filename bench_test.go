@@ -19,6 +19,7 @@ import (
 	"k42trace/internal/analysis"
 	"k42trace/internal/baseline"
 	"k42trace/internal/clock"
+	"k42trace/internal/diff"
 	"k42trace/internal/event"
 	"k42trace/internal/sdet"
 	"k42trace/internal/stream"
@@ -765,6 +766,34 @@ func BenchmarkKWayMerge(b *testing.B) {
 			})
 		}
 	})
+}
+
+// --- Differential analysis ----------------------------------------------------
+//
+// tracediff over the canonical coarse/tuned fixture pair: alignment,
+// windowed occupancy on both runs, lock/profile/process deltas, and the
+// divergence score, at several fan-out widths. The report is byte-identical
+// at every width (TestTraceDiffToolParity); this captures the cost curve.
+
+func BenchmarkTraceDiff(b *testing.B) {
+	open := func(name string) *ktrace.Trace {
+		tr, _, _, err := ktrace.OpenTraceFileParallel(filepath.Join("testdata", "corpus", name), 0)
+		if err != nil {
+			b.Skipf("corpus fixture missing (run go test . -update): %v", err)
+		}
+		return tr
+	}
+	coarse, tuned := open("coarse.ktr"), open("tuned.ktr")
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := diff.Diff(coarse, tuned, diff.Options{Workers: w})
+				if rep.Divergence == 0 {
+					b.Fatal("fixture pair diffed to zero")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkBlockDecode guards the zero-allocation decode path: allocs/op

@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	kmon [-width N] [-mark EVENT_NAME]... [-svg out.svg] [-at seconds -around ms] trace.ktr
+//	kmon [-width N] [-mark EVENT_NAME]... [-svg out.svg] [-html out.html] [-at seconds -around ms] trace.ktr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	ktrace "k42trace"
 )
@@ -25,6 +26,7 @@ func (m *markList) Set(s string) error { *m = append(*m, s); return nil }
 func main() {
 	width := flag.Int("width", 100, "timeline width in columns")
 	svgPath := flag.String("svg", "", "also write an SVG rendering to this path")
+	htmlPath := flag.String("html", "", "also write a self-contained interactive HTML timeline to this path")
 	zoomFrom := flag.Float64("from", -1, "zoom: window start, seconds")
 	zoomTo := flag.Float64("to", -1, "zoom: window end, seconds")
 	at := flag.Float64("at", -1, "list events around this time (seconds), like clicking the timeline")
@@ -64,6 +66,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *htmlPath != "" {
+		var x *ktrace.TimelineExport
+		if *zoomFrom >= 0 && *zoomTo > *zoomFrom {
+			hz := float64(meta.ClockHz)
+			x = trace.ExportTimelineRange(uint64(*zoomFrom*hz), uint64(*zoomTo*hz), marks...)
+		} else {
+			x = trace.ExportTimeline(marks...)
+		}
+		x.Label = filepath.Base(flag.Arg(0))
+		f, err := os.Create(*htmlPath)
+		if err == nil {
+			err = ktrace.WriteTimelineHTML(f, "kmon "+x.Label, x)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlPath)
 	}
 	if *at >= 0 {
 		hz := float64(meta.ClockHz)

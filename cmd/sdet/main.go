@@ -17,8 +17,31 @@ import (
 	"strconv"
 	"strings"
 
+	"k42trace/internal/event"
 	"k42trace/internal/sdet"
 )
+
+// maskAtFlag collects repeatable -mask-at "ns=maskspec" values.
+type maskAtFlag []sdet.MaskChange
+
+func (f *maskAtFlag) String() string { return fmt.Sprintf("%d changes", len(*f)) }
+
+func (f *maskAtFlag) Set(s string) error {
+	at, spec, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want ns=maskspec, got %q", s)
+	}
+	t, err := strconv.ParseUint(strings.TrimSpace(at), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad time in %q: %v", s, err)
+	}
+	mask, err := event.ParseMask(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, sdet.MaskChange{AtNs: t, Mask: mask})
+	return nil
+}
 
 func parseCPUs(s string) ([]int, error) {
 	var out []int
@@ -46,6 +69,9 @@ func main() {
 	stagger := flag.Uint64("stagger", 0, "delay script i by i*stagger virtual ns (startup-idle demo)")
 	forks := flag.Bool("forks", false, "scripts fork a child per command")
 	threads := flag.Bool("threads", false, "scripts spawn a thread per command (multithreaded processes)")
+	irq := flag.Uint64("irq", 0, "timer IRQ period in virtual ns (0 = off)")
+	var maskAt maskAtFlag
+	flag.Var(&maskAt, "mask-at", `apply a trace-mask change mid-run: "ns=maskspec" (repeatable; maskspec as in ParseMask: all, none, 0x..., or major names)`)
 	flag.Parse()
 
 	list, err := parseCPUs(*cpus)
@@ -74,13 +100,15 @@ func main() {
 	}
 
 	cfg := sdet.Config{
-		CPUs:      list[0],
-		Tuned:     *config == "tuned",
-		Trace:     mode,
-		Params:    params,
-		Sample:    *sample,
-		HWCSample: *hwc,
-		Stagger:   *stagger,
+		CPUs:        list[0],
+		Tuned:       *config == "tuned",
+		Trace:       mode,
+		Params:      params,
+		Sample:      *sample,
+		HWCSample:   *hwc,
+		IRQPeriod:   *irq,
+		Stagger:     *stagger,
+		MaskChanges: maskAt,
 	}
 	if *config != "tuned" && *config != "coarse" {
 		fmt.Fprintf(os.Stderr, "sdet: unknown config %q\n", *config)

@@ -1,0 +1,125 @@
+// Command tracediff is the differential analyzer: it aligns two traces of
+// "the same" workload — a coarse vs a tuned kernel, before vs after a fix —
+// and reports where time went differently: per-mode occupancy deltas,
+// per-CPU busy/lock shifts, lock-contention deltas keyed by acquisition
+// chain, profile and per-process deltas, and a window-by-window divergence
+// score. Identical inputs diff to exactly zero.
+//
+// Usage:
+//
+//	tracediff [-j N] [-top N] [-windows N] [-anchor EVENT]...
+//	          [-json] [-html out.html] [-max-divergence F] [-salvage]
+//	          a.ktr b.ktr
+//
+// Exit status: 0 on success, 1 on error, 2 on usage, 3 when -max-divergence
+// is set and the measured divergence exceeds it (the CI regression gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	ktrace "k42trace"
+	"k42trace/internal/diff"
+)
+
+type anchorList []string
+
+func (a *anchorList) String() string     { return fmt.Sprint(*a) }
+func (a *anchorList) Set(s string) error { *a = append(*a, s); return nil }
+
+func open(path string, jobs int, salvage bool) (*ktrace.Trace, error) {
+	if salvage {
+		t, rep, err := ktrace.SalvageTraceFile(path, jobs)
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "tracediff: %s: %d blocks quarantined\n", path, len(rep.Skipped))
+		}
+		return t, nil
+	}
+	t, _, st, err := ktrace.OpenTraceFileParallel(path, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if st.Garbled() {
+		fmt.Fprintf(os.Stderr, "tracediff: %s: warning: %d garbled words skipped\n", path, st.SkippedWords)
+	}
+	return t, nil
+}
+
+func main() {
+	jobs := flag.Int("j", 0, "analysis workers per trace (0 = all cores)")
+	top := flag.Int("top", 10, "rows per section in the text report")
+	windows := flag.Int("windows", 32, "aligned-range subdivisions for divergence scoring")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
+	htmlPath := flag.String("html", "", "write the two aligned runs as a stacked interactive HTML timeline")
+	maxDiv := flag.Float64("max-divergence", -1, "exit 3 if divergence exceeds this (CI gate; <0 = off)")
+	salvage := flag.Bool("salvage", false, "open damaged traces forgivingly")
+	var anchors anchorList
+	flag.Var(&anchors, "anchor", "event name to align the runs on (repeatable; default: mask epochs, else spans)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff [flags] a.ktr b.ktr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	pathA, pathB := flag.Arg(0), flag.Arg(1)
+	ta, err := open(pathA, *jobs, *salvage)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+	tb, err := open(pathB, *jobs, *salvage)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+
+	rep := diff.Diff(ta, tb, diff.Options{
+		Workers: *jobs,
+		Windows: *windows,
+		Anchors: anchors,
+		LabelA:  filepath.Base(pathA),
+		LabelB:  filepath.Base(pathB),
+	})
+
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.Format(os.Stdout, *top)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+
+	if *htmlPath != "" {
+		xa := ta.ExportTimelineRange(rep.A.Start, rep.A.End, anchors...)
+		xb := tb.ExportTimelineRange(rep.B.Start, rep.B.End, anchors...)
+		xa.Label = rep.A.Label
+		xb.Label = rep.B.Label
+		f, err := os.Create(*htmlPath)
+		if err == nil {
+			err = ktrace.WriteTimelineHTML(f,
+				fmt.Sprintf("tracediff %s vs %s", rep.A.Label, rep.B.Label), xa, xb)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracediff:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracediff: wrote %s\n", *htmlPath)
+	}
+
+	if *maxDiv >= 0 && rep.Divergence > *maxDiv {
+		fmt.Fprintf(os.Stderr, "tracediff: divergence %.6f exceeds threshold %.6f\n",
+			rep.Divergence, *maxDiv)
+		os.Exit(3)
+	}
+}

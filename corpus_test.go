@@ -44,6 +44,32 @@ func buildCorpusSources(t testing.TB) (clean, crossIO []byte) {
 	return a.Bytes(), b.Bytes()
 }
 
+// buildDiffPair generates the canonical tracediff fixture pair: the same
+// SDET workload (same scripts, same seed, same samplers, same mid-run mask
+// changes) on the coarse (global-lock) and tuned (per-CPU) kernels. The
+// coarse kernel's lock contention is the planted regression tracediff must
+// surface; the mask changes plant TRACE_CTRL_MASK_CHANGE epochs at the
+// same virtual instants in both runs, which tracediff uses as alignment
+// anchors.
+func buildDiffPair(t testing.TB) (coarse, tuned []byte) {
+	t.Helper()
+	masks := []sdet.MaskChange{
+		{AtNs: 800_000, Mask: ^uint64(0) &^ (MajorSample.Bit() | MajorAlloc.Bit())},
+		{AtNs: 1_400_000, Mask: ^uint64(0)},
+	}
+	gen := func(tunedKernel bool) []byte {
+		var b bytes.Buffer
+		if _, err := sdet.Run(sdet.Config{CPUs: 8, Tuned: tunedKernel, Trace: sdet.TraceOn,
+			Params:    sdet.Params{ScriptsPerCPU: 4, CommandsPerScript: 6, Seed: 11},
+			Sample:    15_000,
+			IRQPeriod: 50_000, MaskChanges: masks}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	return gen(false), gen(true)
+}
+
 // garbleCorpus applies the corpus damage recipe to the clean trace and
 // returns the damaged image plus the indices of the fully quarantined
 // (magic-destroyed) blocks. The recipe is pure function of the input, so
@@ -111,11 +137,14 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 		clean, crossIO := buildCorpusSources(t)
 		garbled, _ := garbleCorpus(t, clean)
+		coarse, tuned := buildDiffPair(t)
 		for name, data := range map[string][]byte{
 			"clean.ktr":       clean,
 			"crosscpu-io.ktr": crossIO,
 			"garbled.ktr":     garbled,
 			"truncated.ktr":   truncateCorpus(t, clean),
+			"coarse.ktr":      coarse,
+			"tuned.ktr":       tuned,
 		} {
 			if err := os.WriteFile(filepath.Join(corpusDir, name), data, 0o644); err != nil {
 				t.Fatal(err)

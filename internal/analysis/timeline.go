@@ -205,7 +205,9 @@ func (tl *Timeline) ASCII() string {
 	return b.String()
 }
 
-// SVG renders the timeline as a standalone SVG document.
+// SVG renders the timeline as a standalone SVG document. Mask-change
+// epochs (TRACE_CTRL_MASK_CHANGE markers) are drawn as dashed vertical
+// lines, matching the interactive HTML renderer's epoch boundaries.
 func (tl *Timeline) SVG() string {
 	const cellW, rowH, pad = 8, 14, 4
 	w := tl.Width*cellW + 2*pad
@@ -222,7 +224,20 @@ func (tl *Timeline) SVG() string {
 				pad+i*cellW, y, cellW, rowH, modeColor(m))
 		}
 	}
-	my := pad + len(tl.Cells)*(rowH+2) + 12
+	rowsBottom := pad + len(tl.Cells)*(rowH+2)
+	for _, ep := range tl.trace.MaskEpochs {
+		if ep.Time < tl.Start || ep.Time > tl.End {
+			continue
+		}
+		bk := int((ep.Time - tl.Start) / tl.BucketNs)
+		if bk >= tl.Width {
+			bk = tl.Width - 1
+		}
+		x := pad + bk*cellW + cellW/2
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#7a5fb5" stroke-dasharray="4 3"/>`+"\n",
+			x, pad, x, rowsBottom)
+	}
+	my := rowsBottom + 12
 	for name, buckets := range tl.Markers {
 		for _, bk := range buckets {
 			x := pad + bk*cellW + cellW/2

@@ -1,0 +1,163 @@
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format writes the human-readable report: alignment header, divergence,
+// and each comparison section truncated to its top rows (top <= 0 means
+// top 10). Output is byte-stable for a given report.
+func (r *Report) Format(w io.Writer, top int) error {
+	if top <= 0 {
+		top = 10
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1000 }
+	dus := func(ns int64) float64 { return float64(ns) / 1000 }
+	pct := func(f float64) float64 { return f * 100 }
+
+	if _, err := fmt.Fprintf(w,
+		"tracediff %s vs %s\n"+
+			"  %-8s %8d events  %2d cpus  aligned %.6fs..%.6fs  (%.6fs)\n"+
+			"  %-8s %8d events  %2d cpus  aligned %.6fs..%.6fs  (%.6fs)\n"+
+			"  alignment %s  anchors %d/%d  drift-scale %.6f\n"+
+			"divergence %.6f  (mean per-window total-variation over %d windows)\n\n",
+		r.A.Label, r.B.Label,
+		r.A.Label, r.A.Events, r.A.CPUs,
+		float64(r.A.Start)/float64(r.A.ClockHz), float64(r.A.End)/float64(r.A.ClockHz), r.A.SpanSec,
+		r.B.Label, r.B.Events, r.B.CPUs,
+		float64(r.B.Start)/float64(r.B.ClockHz), float64(r.B.End)/float64(r.B.ClockHz), r.B.SpanSec,
+		r.Align.Kind, r.Align.AnchorsA, r.Align.AnchorsB, r.Align.Scale,
+		r.Divergence, len(r.Windows)); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "mode occupancy (share of cpu time in aligned range):\n%-10s %8s %8s %9s %14s %14s %14s\n",
+		"mode", "A%", "B%", "delta%", "A(us)", "B(us)", "delta(us)"); err != nil {
+		return err
+	}
+	for _, m := range r.Modes {
+		if _, err := fmt.Fprintf(w, "%-10s %8.2f %8.2f %+9.2f %14.1f %14.1f %+14.1f\n",
+			m.Mode, pct(m.AShare), pct(m.BShare), pct(m.DeltaShare),
+			us(m.ANs), us(m.BNs), dus(m.DeltaNs)); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "\nper-cpu busy / lock-wait shares:\n%-6s %8s %8s %9s %8s %8s %9s\n",
+		"cpu", "Abusy%", "Bbusy%", "delta%", "Alock%", "Block%", "delta%"); err != nil {
+		return err
+	}
+	for _, c := range r.CPUs {
+		if _, err := fmt.Fprintf(w, "cpu%-3d %8.2f %8.2f %+9.2f %8.2f %8.2f %+9.2f\n",
+			c.CPU, pct(c.ABusyShare), pct(c.BBusyShare), pct(c.DeltaBusyShare),
+			pct(c.ALockShare), pct(c.BLockShare), pct(c.DeltaLockShare)); err != nil {
+			return err
+		}
+	}
+
+	n := top
+	if n > len(r.Locks) {
+		n = len(r.Locks)
+	}
+	if _, err := fmt.Fprintf(w, "\ntop %d lock-contention deltas by |wait| (keyed by acquisition chain):\n%14s %12s %12s %8s %8s  %s\n",
+		n, "dwait(us)", "Await(us)", "Bwait(us)", "Acount", "Bcount", "chain"); err != nil {
+		return err
+	}
+	for _, l := range r.Locks[:n] {
+		if _, err := fmt.Fprintf(w, "%+14.1f %12.1f %12.1f %8d %8d  %s\n",
+			dus(l.DeltaWaitNs), us(l.AWaitNs), us(l.BWaitNs), l.ACount, l.BCount,
+			strings.Join(l.Frames, " < ")); err != nil {
+			return err
+		}
+	}
+
+	n = top
+	if n > len(r.Profile) {
+		n = len(r.Profile)
+	}
+	if _, err := fmt.Fprintf(w, "\ntop %d profile deltas by |share| (pc samples):\n%8s %8s %9s  %s\n",
+		n, "Acount", "Bcount", "delta%", "symbol"); err != nil {
+		return err
+	}
+	for _, p := range r.Profile[:n] {
+		if _, err := fmt.Fprintf(w, "%8d %8d %+9.2f  %s\n",
+			p.ACount, p.BCount, pct(p.DeltaShare), p.Sym); err != nil {
+			return err
+		}
+	}
+
+	n = top
+	if n > len(r.Procs) {
+		n = len(r.Procs)
+	}
+	if _, err := fmt.Fprintf(w, "\ntop %d process deltas by |total| (scheduled time, us):\n%-14s %12s %12s %+13s %12s %12s\n",
+		n, "name", "Atotal", "Btotal", "dtotal", "Alock", "Block"); err != nil {
+		return err
+	}
+	for _, p := range r.Procs[:n] {
+		if _, err := fmt.Fprintf(w, "%-14s %12.1f %12.1f %+13.1f %12.1f %12.1f\n",
+			p.Name, us(p.ATotalNs), us(p.BTotalNs), dus(p.DeltaTotalNs),
+			us(p.ALockNs), us(p.BLockNs)); err != nil {
+			return err
+		}
+	}
+
+	n = top
+	if n > len(r.Majors) {
+		n = len(r.Majors)
+	}
+	if _, err := fmt.Fprintf(w, "\ntop %d event-volume deltas by major class:\n%-10s %10s %10s %+11s\n",
+		n, "major", "Acount", "Bcount", "delta"); err != nil {
+		return err
+	}
+	for _, m := range r.Majors[:n] {
+		if _, err := fmt.Fprintf(w, "%-10s %10d %10d %+11d\n",
+			m.Major, m.ACount, m.BCount, m.Delta); err != nil {
+			return err
+		}
+	}
+
+	// Window sparkline: one digit per window, 0..9 scaled divergence — a
+	// terminal-sized view of *when* the runs diverged.
+	if len(r.Windows) > 0 {
+		var spark strings.Builder
+		for _, ws := range r.Windows {
+			d := int(ws.Score * 10)
+			if d > 9 {
+				d = 9
+			}
+			spark.WriteByte(byte('0' + d))
+		}
+		worst := r.Windows[0]
+		for _, ws := range r.Windows[1:] {
+			if ws.Score > worst.Score {
+				worst = ws
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\nwindow divergence (0=identical 9=disjoint): [%s]\n"+
+			"worst window %d: score %.6f, biggest shift %s %+.2f%%\n",
+			spark.String(), worst.Index, worst.Score, worst.TopMode, pct(worst.TopModeDelta)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the top-10 report.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Format(&b, 10)
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable report. Encoding is deterministic:
+// all Report fields are slices and scalars (no maps), ordered by the same
+// total orders the text report uses.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

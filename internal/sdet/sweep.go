@@ -66,6 +66,16 @@ type Config struct {
 	// Stagger delays script i's start by i*Stagger virtual ns (the
 	// benchmark-startup coordination flaw of §4).
 	Stagger uint64
+	// MaskChanges applies trace-mask changes at absolute virtual times
+	// mid-run (TraceOn only) — the dynamic-control feature; each change
+	// stamps TRACE_CTRL_MASK_CHANGE epoch markers on every CPU.
+	MaskChanges []MaskChange
+}
+
+// MaskChange is one mid-run trace-mask flip.
+type MaskChange struct {
+	AtNs uint64 // absolute virtual time
+	Mask uint64 // new major-enable mask
 }
 
 // Run executes one SDET run and returns its measurement. When cfg.Trace is
@@ -113,6 +123,12 @@ func Run(cfg Config, w io.Writer) (Point, error) {
 	}
 	if err != nil {
 		return Point{}, err
+	}
+	if tr != nil && cfg.Trace == TraceOn {
+		for _, mc := range cfg.MaskChanges {
+			mask := mc.Mask
+			k.At(mc.AtNs, func(*ksim.Kernel) { tr.ApplyMask(mask) })
+		}
 	}
 	res, err := k.Run(Workload(cfg.CPUs, cfg.Params))
 	if err != nil {

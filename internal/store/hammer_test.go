@@ -249,7 +249,7 @@ func hammerQueriesVsMutation(t *testing.T, cacheBytes int64) {
 	go func() {
 		defer wg.Done()
 		for !done.Load() {
-			if _, err := s.Compact("mix"); err != nil {
+			if _, err := s.Compact("mix"); err != nil && !isNoTenant(err) {
 				t.Errorf("compact: %v", err)
 				return
 			}
@@ -318,9 +318,6 @@ func hammerQueriesVsMutation(t *testing.T, cacheBytes int64) {
 	if queries.Load() == 0 {
 		t.Fatal("no query completed")
 	}
-	if cacheBytes > 0 && cacheHits.Load() == 0 {
-		t.Fatal("cached hammer never hit the cache; the variant is vacuous")
-	}
 	t.Logf("%d queries raced %d uploads, gc freed segments %d times, %d cached segment scans",
 		queries.Load(), uploads, gcPasses.Load(), cacheHits.Load())
 
@@ -337,5 +334,21 @@ func hammerQueriesVsMutation(t *testing.T, cacheBytes int64) {
 	}
 	if uint64(len(r.Events))%e != 0 {
 		t.Fatalf("settled store holds %d events; not a multiple of %d", len(r.Events), e)
+	}
+	// Cache hits during the race are best-effort (compaction and GC retire
+	// segments out from under the cache), so the vacuousness check runs
+	// after the churn settles: repeating the identical query with no
+	// mutation racing it must be answered from cache.
+	if cacheBytes > 0 {
+		r2, err := s.Query(Params{Tenant: "mix"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.SegsCached == 0 {
+			t.Fatal("cached hammer: settled repeat query hit no cached segments; the variant is vacuous")
+		}
+		if !sameEvents(r2.Events, r.Events) {
+			t.Fatalf("settled repeat query diverged: %d vs %d events", len(r2.Events), len(r.Events))
+		}
 	}
 }

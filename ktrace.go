@@ -324,6 +324,20 @@ type TimeBreak = analysis.TimeBreak
 // Timeline is the Figure 4 per-CPU timeline.
 type Timeline = analysis.Timeline
 
+// TimelineExport is the exact-span timeline export: JSON data plus the
+// self-contained interactive HTML renderer (kmon -html, tracediff -html).
+type TimelineExport = analysis.TimelineExport
+
+// Occupancy is the windowed per-mode/per-CPU/per-major occupancy
+// aggregate underlying the differential (tracediff) analysis.
+type Occupancy = analysis.Occupancy
+
+// WriteTimelineHTML renders one or more exported timelines stacked in a
+// single self-contained interactive HTML page (no network references).
+func WriteTimelineHTML(w io.Writer, title string, runs ...*TimelineExport) error {
+	return analysis.WriteTimelineHTML(w, title, runs...)
+}
+
 // ListOptions filter event listings.
 type ListOptions = analysis.ListOptions
 
